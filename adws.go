@@ -1,0 +1,178 @@
+// Package adws provides nested (fork-join) task parallelism with
+// locality-aware scheduling, implementing the schedulers of
+//
+//	Shiina & Taura, "Almost Deterministic Work Stealing", SC 2019
+//	(extended in IEEE TPDS 33(12), 2022).
+//
+// A Pool runs a fixed set of workers over a declared cache hierarchy.
+// Tasks spawn child tasks in task groups (the Intel-TBB-style constructs
+// of the paper's Fig. 2), optionally annotated with relative work hints
+// and working-set-size hints:
+//
+//	pool, _ := adws.NewPool(adws.WithScheduler(adws.ADWS))
+//	defer pool.Close()
+//	pool.Run(func(c *adws.Ctx) {
+//		g := c.Group(adws.GroupHint{Work: 3, Size: totalBytes})
+//		g.Spawn(1, func(c *adws.Ctx) { left() })
+//		g.Spawn(2, func(c *adws.Ctx) { right() }) // twice the work
+//		g.Wait()
+//	})
+//
+// Four schedulers are available: conventional random work stealing
+// (WorkStealing), single-level almost deterministic work stealing (ADWS),
+// and their multi-level variants (MultiLevelWS, MultiLevelADWS) which tie
+// task groups to shared caches and apply cache-hierarchy flattening.
+// Work hints may be rough or omitted — ADWS fixes imbalances by dynamic
+// load balancing within dominant-group steal ranges (§3.2 of the paper).
+package adws
+
+import (
+	"fmt"
+	gort "runtime"
+
+	"github.com/parlab/adws/internal/runtime"
+	"github.com/parlab/adws/internal/topology"
+)
+
+// Scheduler selects the scheduling algorithm of a Pool.
+type Scheduler = runtime.Policy
+
+const (
+	// WorkStealing is conventional random work stealing (the paper's
+	// SL-WS baseline; Cilk-Plus-like behaviour).
+	WorkStealing = runtime.WS
+	// ADWS is single-level almost deterministic work stealing (§3).
+	ADWS = runtime.ADWS
+	// MultiLevelWS applies multi-level scheduling with random work
+	// stealing at every cache level (§4).
+	MultiLevelWS = runtime.MLWS
+	// MultiLevelADWS is multi-level ADWS with cache-hierarchy flattening
+	// (§5) — the paper's best performer on memory-bound workloads.
+	MultiLevelADWS = runtime.MLADWS
+)
+
+// Ctx is the execution context passed to every task body.
+type Ctx = runtime.Ctx
+
+// TaskGroup is a handle for spawning and awaiting child tasks.
+type TaskGroup = runtime.TaskGroup
+
+// GroupHint carries the per-group scheduling hints of the paper's Fig. 2b.
+type GroupHint = runtime.GroupHint
+
+// Stats aggregates scheduling counters.
+type Stats = runtime.Stats
+
+// CacheLevel describes one level of a machine's cache hierarchy, from the
+// outermost shared caches to the innermost private ones.
+type CacheLevel struct {
+	// Fanout is the number of caches at this level under each cache of
+	// the previous level.
+	Fanout int
+	// CapacityBytes is the per-cache capacity.
+	CapacityBytes int64
+}
+
+type config struct {
+	scheduler  Scheduler
+	machine    *topology.Machine
+	seed       uint64
+	pinThreads bool
+	err        error
+}
+
+// Option configures NewPool.
+type Option func(*config)
+
+// WithScheduler selects the scheduling algorithm (default WorkStealing).
+func WithScheduler(s Scheduler) Option {
+	return func(c *config) { c.scheduler = s }
+}
+
+// WithWorkers creates a flat machine of n workers sharing one cache. Use
+// WithHierarchy to describe real cache topologies.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.err = fmt.Errorf("adws: worker count %d must be positive", n)
+			return
+		}
+		c.machine = topology.Flat(n, 32<<20, 1<<20)
+	}
+}
+
+// WithHierarchy declares the machine's cache hierarchy: levels from the
+// outermost shared caches down to the private per-worker caches (the last
+// level); one worker is created per private cache. numaSplit names the
+// level whose caches each own a NUMA node (0 for a single node).
+func WithHierarchy(levels []CacheLevel, numaSplit int) Option {
+	return func(c *config) {
+		ls := make([]topology.Level, len(levels))
+		for i, l := range levels {
+			ls[i] = topology.Level{Fanout: l.Fanout, Capacity: l.CapacityBytes}
+		}
+		m, err := topology.New("user", ls, numaSplit)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.machine = m
+	}
+}
+
+// WithSeed fixes the victim-selection seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithPinnedThreads locks each worker goroutine to an OS thread, the
+// paper's worker-per-core configuration.
+func WithPinnedThreads() Option {
+	return func(c *config) { c.pinThreads = true }
+}
+
+// Pool is a running worker pool. Create one per process (or per disjoint
+// machine partition), reuse it across computations, and Close it when
+// done.
+type Pool struct {
+	p *runtime.Pool
+}
+
+// NewPool starts a pool. Without options it runs conventional work
+// stealing over GOMAXPROCS workers.
+func NewPool(opts ...Option) (*Pool, error) {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if cfg.machine == nil {
+		cfg.machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
+	}
+	p := runtime.NewPool(runtime.Config{
+		Machine:    cfg.machine,
+		Policy:     cfg.scheduler,
+		Seed:       cfg.seed,
+		PinThreads: cfg.pinThreads,
+	})
+	return &Pool{p: p}, nil
+}
+
+// Run executes fn as the root task and blocks until every transitively
+// spawned and awaited task completes. Only one Run may be active at a
+// time.
+func (p *Pool) Run(fn func(*Ctx)) { p.p.Run(fn) }
+
+// NumWorkers returns the pool size.
+func (p *Pool) NumWorkers() int { return p.p.NumWorkers() }
+
+// Scheduler returns the pool's scheduling algorithm.
+func (p *Pool) Scheduler() Scheduler { return p.p.Policy() }
+
+// Stats returns scheduling counters accumulated since pool creation.
+func (p *Pool) Stats() Stats { return p.p.Stats() }
+
+// Close stops the workers. Outstanding Runs must have completed.
+func (p *Pool) Close() { p.p.Close() }

@@ -1,0 +1,122 @@
+package adws
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	p, err := NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.NumWorkers() < 1 {
+		t.Fatal("no workers")
+	}
+	if p.Scheduler() != WorkStealing {
+		t.Errorf("default scheduler = %v, want WorkStealing", p.Scheduler())
+	}
+}
+
+func TestNewPoolOptionErrors(t *testing.T) {
+	if _, err := NewPool(WithWorkers(0)); err == nil {
+		t.Error("WithWorkers(0) accepted")
+	}
+	if _, err := NewPool(WithHierarchy(nil, 0)); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := NewPool(WithHierarchy([]CacheLevel{{Fanout: -1, CapacityBytes: 1}}, 0)); err == nil {
+		t.Error("negative fanout accepted")
+	}
+}
+
+func schedulers() []Scheduler {
+	return []Scheduler{WorkStealing, ADWS, MultiLevelWS, MultiLevelADWS}
+}
+
+func TestFibAllSchedulers(t *testing.T) {
+	var fib func(c *Ctx, n int) int64
+	fib = func(c *Ctx, n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		if n < 10 {
+			return fib(c, n-1) + fib(c, n-2)
+		}
+		var a, b int64
+		g := c.Group(GroupHint{Work: 3})
+		g.Spawn(2, func(c *Ctx) { a = fib(c, n-1) })
+		g.Spawn(1, func(c *Ctx) { b = fib(c, n-2) })
+		g.Wait()
+		return a + b
+	}
+	for _, s := range schedulers() {
+		p, err := NewPool(
+			WithScheduler(s),
+			WithHierarchy([]CacheLevel{
+				{Fanout: 2, CapacityBytes: 8 << 20},
+				{Fanout: 4, CapacityBytes: 1 << 20},
+			}, 0),
+			WithSeed(7),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		p.Run(func(c *Ctx) { got = fib(c, 20) })
+		p.Close()
+		if got != 6765 {
+			t.Errorf("%v: fib(20) = %d, want 6765", s, got)
+		}
+	}
+}
+
+func TestSizedGroupsMultiLevel(t *testing.T) {
+	p, err := NewPool(
+		WithScheduler(MultiLevelADWS),
+		WithHierarchy([]CacheLevel{
+			{Fanout: 2, CapacityBytes: 4 << 20},
+			{Fanout: 4, CapacityBytes: 512 << 10},
+		}, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var count int64
+	var rec func(c *Ctx, depth int, size int64)
+	rec = func(c *Ctx, depth int, size int64) {
+		if depth == 0 {
+			atomic.AddInt64(&count, 1)
+			return
+		}
+		g := c.Group(GroupHint{Work: 2, Size: size})
+		g.Spawn(1, func(c *Ctx) { rec(c, depth-1, size/2) })
+		g.Spawn(1, func(c *Ctx) { rec(c, depth-1, size/2) })
+		g.Wait()
+	}
+	p.Run(func(c *Ctx) { rec(c, 8, 32<<20) })
+	if count != 256 {
+		t.Errorf("count = %d, want 256", count)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p, err := NewPool(WithScheduler(ADWS), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var n int64
+	p.Run(func(c *Ctx) {
+		g := c.Group(GroupHint{Work: 16})
+		for i := 0; i < 16; i++ {
+			g.Spawn(1, func(c *Ctx) { atomic.AddInt64(&n, 1) })
+		}
+		g.Wait()
+	})
+	if s := p.Stats(); s.Tasks == 0 {
+		t.Errorf("stats empty: %+v", s)
+	}
+}

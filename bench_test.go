@@ -1,0 +1,169 @@
+package adws_test
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/dataset"
+	"github.com/parlab/adws/internal/dtree"
+	"github.com/parlab/adws/internal/kernels"
+	"github.com/parlab/adws/internal/sched"
+)
+
+// Real-runtime benchmarks: the paper's kernels on the actual adws worker
+// pool, one sub-benchmark per scheduler. Simulator-based benchmarks that
+// regenerate the paper's figures live in figures_bench_test.go.
+
+func benchPool(b *testing.B, s adws.Scheduler) *adws.Pool {
+	b.Helper()
+	p, err := adws.NewPool(
+		adws.WithScheduler(s),
+		adws.WithHierarchy([]adws.CacheLevel{
+			{Fanout: 2, CapacityBytes: 16 << 20},
+			{Fanout: 4, CapacityBytes: 1 << 20},
+		}, 0),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	return p
+}
+
+func forEachScheduler(b *testing.B, fn func(b *testing.B, p *adws.Pool)) {
+	for _, s := range []adws.Scheduler{
+		adws.WorkStealing, adws.ADWS, adws.MultiLevelWS, adws.MultiLevelADWS,
+	} {
+		b.Run(s.String(), func(b *testing.B) {
+			fn(b, benchPool(b, s))
+		})
+	}
+}
+
+func BenchmarkQuicksort(b *testing.B) {
+	master := randomFloats(1 << 20)
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		data := make([]float64, len(master))
+		b.SetBytes(int64(len(master)) * 8)
+		for i := 0; i < b.N; i++ {
+			copy(data, master)
+			kernels.Quicksort(p, data)
+		}
+		if !sort.Float64sAreSorted(data) {
+			b.Fatal("not sorted")
+		}
+	})
+}
+
+func BenchmarkKDTree(b *testing.B) {
+	rng := sched.NewRNG(3, 0)
+	master := make([]kernels.KDPoint, 1<<18)
+	for i := range master {
+		master[i] = kernels.KDPoint{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		pts := make([]kernels.KDPoint, len(master))
+		b.SetBytes(int64(len(master)) * 24)
+		for i := 0; i < b.N; i++ {
+			copy(pts, master)
+			kernels.KDTree(p, pts)
+		}
+	})
+}
+
+func BenchmarkRRM(b *testing.B) {
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		data := make([]float64, 1<<20)
+		for i := range data {
+			data[i] = 1
+		}
+		b.SetBytes(int64(len(data)) * 8)
+		for i := 0; i < b.N; i++ {
+			kernels.RRM(p, data, 1)
+		}
+	})
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	const n = 384
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		A, B, C := kernels.NewMatrix(n), kernels.NewMatrix(n), kernels.NewMatrix(n)
+		rng := sched.NewRNG(5, 0)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A.Set(i, j, float32(rng.Float64()))
+				B.Set(i, j, float32(rng.Float64()))
+			}
+		}
+		flops := 2 * int64(n) * int64(n) * int64(n)
+		b.SetBytes(flops) // report "bytes"/s as flops/s
+		for i := 0; i < b.N; i++ {
+			kernels.MatMul(p, C, A, B)
+		}
+	})
+}
+
+func BenchmarkHeat2D(b *testing.B) {
+	const n, iters = 1024, 5
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		src, dst := kernels.NewGrid(n), kernels.NewGrid(n)
+		src.Set(n/2, n/2, 1000)
+		b.SetBytes(int64(n) * int64(n) * 8 * iters)
+		for i := 0; i < b.N; i++ {
+			kernels.Heat2D(p, src, dst, iters)
+		}
+	})
+}
+
+func BenchmarkSPH(b *testing.B) {
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		sys := kernels.NewDamBreak(50_000, 7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.ComputeForces(p)
+		}
+	})
+}
+
+func BenchmarkDecisionTree(b *testing.B) {
+	ds := dataset.Synthetic(100_000, dataset.DefaultAttrs, 42)
+	train, _ := ds.Split(5_000)
+	cfg := dtree.DefaultConfig()
+	cfg.MaxDepth = 12
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		b.SetBytes(ds.Bytes())
+		for i := 0; i < b.N; i++ {
+			dtree.Train(p, ds, train, cfg)
+		}
+	})
+}
+
+// BenchmarkSpawnOverhead measures the pure tasking overhead: an empty
+// binary tree of task groups.
+func BenchmarkSpawnOverhead(b *testing.B) {
+	forEachScheduler(b, func(b *testing.B, p *adws.Pool) {
+		var rec func(c *adws.Ctx, d int)
+		rec = func(c *adws.Ctx, d int) {
+			if d == 0 {
+				return
+			}
+			g := c.Group(adws.GroupHint{Work: 2})
+			g.Spawn(1, func(c *adws.Ctx) { rec(c, d-1) })
+			g.Spawn(1, func(c *adws.Ctx) { rec(c, d-1) })
+			g.Wait()
+		}
+		for i := 0; i < b.N; i++ {
+			p.Run(func(c *adws.Ctx) { rec(c, 10) })
+		}
+	})
+}
+
+func randomFloats(n int) []float64 {
+	rng := sched.NewRNG(1, 0)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*2e6 - 1e6
+	}
+	return out
+}

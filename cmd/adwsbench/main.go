@@ -1,0 +1,119 @@
+// adwsbench regenerates the tables and figures of the ADWS paper's
+// evaluation (§6) from the deterministic machine simulator.
+//
+// Usage:
+//
+//	adwsbench -figure all                 # everything (slow at full scale)
+//	adwsbench -figure 16 -bench dtree     # one figure, one benchmark
+//	adwsbench -figure 18 -sizes 0.25,4    # custom working-set sweep
+//	adwsbench -machine twolevel16         # scaled-down machine (fast)
+//	adwsbench -csv out/                   # also write CSV files
+//
+// Figures: table1, 16 (speedup vs working set), 17 (time breakdown),
+// 18 (cache misses), 19 (work-hint sensitivity), 20 (no-hint ADWS),
+// 21 (NUMA placement), auto (extension: automatic SL/ML switching, §8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/parlab/adws/internal/figures"
+	"github.com/parlab/adws/internal/topology"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "table1, 16, 17, 18, 19, 20, 21, auto, or all")
+		bench   = flag.String("bench", "", "comma-separated benchmark filter (rrm,quicksort,kdtree,dtree,matmul,heat2d,sph)")
+		machine = flag.String("machine", "oakbridge", "oakbridge, twolevel16, or threelevel64")
+		sizes   = flag.String("sizes", "", "comma-separated working-set factors of the aggregate shared capacity (default 0.125..16)")
+		reps    = flag.Int("reps", 2, "repetitions per point (last, warm one measured)")
+		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+	)
+	flag.Parse()
+
+	opts := figures.Options{Reps: *reps, Seed: *seed}
+	switch *machine {
+	case "oakbridge":
+		opts.Machine = topology.OakbridgeCX()
+	case "twolevel16":
+		opts.Machine = topology.TwoLevel16()
+	case "threelevel64":
+		opts.Machine = topology.ThreeLevel64()
+	default:
+		fatalf("unknown machine %q", *machine)
+	}
+	if *bench != "" {
+		opts.Benches = strings.Split(*bench, ",")
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatalf("bad size factor %q: %v", s, err)
+			}
+			opts.SizeFactors = append(opts.SizeFactors, f)
+		}
+	}
+
+	want := func(id string) bool { return *figure == "all" || *figure == id }
+
+	if want("table1") {
+		figures.Table1(opts.Machine, os.Stdout)
+	}
+	var figs []figures.Figure
+	if want("16") {
+		figs = append(figs, figures.Fig16(opts)...)
+	}
+	if want("17") {
+		figs = append(figs, figures.Fig17(opts)...)
+	}
+	if want("18") {
+		figs = append(figs, figures.Fig18(opts)...)
+	}
+	if want("19") {
+		figs = append(figs, figures.Fig19(opts)...)
+	}
+	if want("20") {
+		figs = append(figs, figures.Fig20(opts)...)
+	}
+	if want("21") {
+		figs = append(figs, figures.Fig21(opts)...)
+	}
+	if want("auto") {
+		figs = append(figs, figures.FigAuto(opts)...)
+	}
+	if len(figs) == 0 && !want("table1") {
+		fatalf("unknown figure %q", *figure)
+	}
+
+	for _, f := range figs {
+		f.Render(os.Stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ReplaceAll(f.ID, "/", "_")+".csv")
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatalf("mkdir: %v", err)
+			}
+			w, err := os.Create(path)
+			if err != nil {
+				fatalf("create %s: %v", path, err)
+			}
+			f.CSV(w)
+			if err := w.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adwsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// adwsrun executes the real benchmark kernels on the real adws runtime
+// under a chosen scheduler and reports wall-clock times and scheduling
+// statistics.
+//
+// Usage:
+//
+//	adwsrun -bench quicksort -n 5000000 -sched adws
+//	adwsrun -bench dtree -rows 500000 -accuracy
+//	adwsrun -bench all -sched mladws
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/dataset"
+	"github.com/parlab/adws/internal/dtree"
+	"github.com/parlab/adws/internal/kernels"
+	"github.com/parlab/adws/internal/sched"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "all", "quicksort, kdtree, rrm, matmul, heat2d, sph, dtree, or all")
+		schedStr = flag.String("sched", "adws", "ws, adws, mlws, or mladws")
+		n        = flag.Int("n", 2_000_000, "problem size (elements / grid side per benchmark)")
+		rows     = flag.Int("rows", 200_000, "decision tree dataset rows")
+		iters    = flag.Int("iters", 10, "iterations for iterative benchmarks")
+		accuracy = flag.Bool("accuracy", false, "report decision tree accuracy")
+		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var s adws.Scheduler
+	switch *schedStr {
+	case "ws":
+		s = adws.WorkStealing
+	case "adws":
+		s = adws.ADWS
+	case "mlws":
+		s = adws.MultiLevelWS
+	case "mladws":
+		s = adws.MultiLevelADWS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedStr)
+		os.Exit(1)
+	}
+	opts := []adws.Option{adws.WithScheduler(s)}
+	if *workers > 0 {
+		opts = append(opts, adws.WithWorkers(*workers))
+	}
+	pool, err := adws.NewPool(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pool.Close()
+	fmt.Printf("scheduler=%v workers=%d\n", s, pool.NumWorkers())
+
+	run := func(name string, fn func()) {
+		if *bench != "all" && *bench != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("%-10s %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	rng := sched.NewRNG(1, 0)
+	run("quicksort", func() {
+		data := make([]float64, *n)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		kernels.Quicksort(pool, data)
+		if !sort.Float64sAreSorted(data) {
+			fmt.Fprintln(os.Stderr, "quicksort: NOT SORTED")
+			os.Exit(1)
+		}
+	})
+	run("kdtree", func() {
+		pts := make([]kernels.KDPoint, *n)
+		for i := range pts {
+			pts[i] = kernels.KDPoint{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		}
+		kernels.KDTree(pool, pts)
+	})
+	run("rrm", func() {
+		data := make([]float64, *n)
+		for i := range data {
+			data[i] = 1
+		}
+		kernels.RRM(pool, data, 1)
+	})
+	run("matmul", func() {
+		side := 512
+		A, B, C := kernels.NewMatrix(side), kernels.NewMatrix(side), kernels.NewMatrix(side)
+		for i := 0; i < side; i++ {
+			for j := 0; j < side; j++ {
+				A.Set(i, j, float32(rng.Float64()))
+				B.Set(i, j, float32(rng.Float64()))
+			}
+		}
+		kernels.MatMul(pool, C, A, B)
+	})
+	run("heat2d", func() {
+		side := 1024
+		src, dst := kernels.NewGrid(side), kernels.NewGrid(side)
+		src.Set(side/2, side/2, 1000)
+		kernels.Heat2D(pool, src, dst, *iters)
+	})
+	run("sph", func() {
+		sys := kernels.NewDamBreak(min(*n, 200_000), 3)
+		for it := 0; it < min(*iters, 5); it++ {
+			sys.ComputeForces(pool)
+		}
+	})
+	run("dtree", func() {
+		ds := dataset.Synthetic(*rows, dataset.DefaultAttrs, 42)
+		train, test := ds.Split(*rows / 20)
+		tree := dtree.Train(pool, ds, train, dtree.DefaultConfig())
+		if *accuracy {
+			fmt.Printf("  accuracy=%.1f%% over %d nodes (chance ~50%%)\n",
+				100*tree.Accuracy(ds, test), tree.Nodes)
+		}
+	})
+
+	st := pool.Stats()
+	fmt.Printf("tasks=%d migrations=%d steals=%d/%d busy=%v idle=%v\n",
+		st.Tasks, st.Migrations, st.Steals, st.StealAttempts,
+		time.Duration(st.BusyNS).Round(time.Millisecond),
+		time.Duration(st.IdleNS).Round(time.Millisecond))
+}

@@ -1,0 +1,52 @@
+// Parallel quicksort with ADWS work hints — the classic divide-and-conquer
+// motif of the paper (§6.2), with the partition parallelized through
+// double buffering.
+//
+// Run with:
+//
+//	go run ./examples/quicksort [-n 5000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/kernels"
+	"github.com/parlab/adws/internal/sched"
+)
+
+func main() {
+	n := flag.Int("n", 5_000_000, "elements to sort")
+	flag.Parse()
+
+	rng := sched.NewRNG(7, 0)
+	master := make([]float64, *n)
+	for i := range master {
+		master[i] = rng.Float64()*1e6 - 5e5
+	}
+
+	for _, s := range []adws.Scheduler{adws.WorkStealing, adws.ADWS, adws.MultiLevelADWS} {
+		pool, err := adws.NewPool(adws.WithScheduler(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		data := append([]float64(nil), master...)
+		start := time.Now()
+		kernels.Quicksort(pool, data)
+		elapsed := time.Since(start)
+		if !sort.Float64sAreSorted(data) {
+			log.Fatalf("%v: output not sorted", s)
+		}
+		fmt.Printf("%-16v sorted %d floats in %v\n", s, *n, elapsed.Round(time.Millisecond))
+		pool.Close()
+	}
+
+	start := time.Now()
+	data := append([]float64(nil), master...)
+	sort.Float64s(data)
+	fmt.Printf("%-16s sorted %d floats in %v\n", "stdlib-serial", *n, time.Since(start).Round(time.Millisecond))
+}

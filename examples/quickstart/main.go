@@ -1,0 +1,67 @@
+// Quickstart: nested fork-join parallelism with ADWS scheduling.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/parlab/adws"
+)
+
+// sumSquares computes sum(i*i for i in [lo, hi)) by parallel divide and
+// conquer. The work hints are exact (proportional to the range length) and
+// the size hint tells multi-level scheduling how much data a subtree
+// touches — here nothing is shared, so we pass the range footprint.
+func sumSquares(c *adws.Ctx, lo, hi int64) int64 {
+	if hi-lo <= 1<<12 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += i * i
+		}
+		return s
+	}
+	mid := (lo + hi) / 2
+	var left, right int64
+	g := c.Group(adws.GroupHint{
+		Work: float64(hi - lo),
+		Size: (hi - lo) * 8,
+	})
+	g.Spawn(float64(mid-lo), func(c *adws.Ctx) { left = sumSquares(c, lo, mid) })
+	g.Spawn(float64(hi-mid), func(c *adws.Ctx) { right = sumSquares(c, mid, hi) })
+	g.Wait()
+	return left + right
+}
+
+func main() {
+	// Describe the machine: 2 shared caches of 16 MB, each over 4 workers
+	// with 1 MB private caches. On a real deployment, mirror your CPU's
+	// topology (sockets/L3, cores/L2).
+	pool, err := adws.NewPool(
+		adws.WithScheduler(adws.MultiLevelADWS),
+		adws.WithHierarchy([]adws.CacheLevel{
+			{Fanout: 2, CapacityBytes: 16 << 20},
+			{Fanout: 4, CapacityBytes: 1 << 20},
+		}, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 1_000_000
+	var total int64
+	pool.Run(func(c *adws.Ctx) {
+		total = sumSquares(c, 0, n)
+	})
+	fmt.Printf("sum of squares below %d = %d\n", int64(n), total)
+	if want := int64(n-1) * n * (2*n - 1) / 6; total != want {
+		log.Fatalf("wrong result: want %d", want)
+	}
+	st := pool.Stats()
+	fmt.Printf("workers=%d tasks=%d migrations=%d steals=%d/%d\n",
+		pool.NumWorkers(), st.Tasks, st.Migrations, st.Steals, st.StealAttempts)
+}

@@ -1,0 +1,123 @@
+package adws_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/parlab/adws/internal/figures"
+	"github.com/parlab/adws/internal/sim"
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// Simulator benchmarks regenerating the paper's tables and figures, one
+// per figure (deliverable (d)). They run on a scaled-down 16-worker
+// machine so `go test -bench .` completes quickly; the full-scale paper
+// configuration is produced by `go run ./cmd/adwsbench` (see
+// EXPERIMENTS.md for the recorded full-scale output).
+
+// figOpts is the reduced configuration shared by the figure benchmarks.
+func figOpts() figures.Options {
+	return figures.Options{
+		Machine:     topology.TwoLevel16(),
+		SizeFactors: []float64{0.25, 4},
+		Reps:        2,
+		Seed:        1,
+	}
+}
+
+func render(b *testing.B, figs []figures.Figure) {
+	b.Helper()
+	for _, f := range figs {
+		f.Render(io.Discard)
+	}
+}
+
+func BenchmarkTable1Machine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Table1(topology.OakbridgeCX(), io.Discard)
+	}
+}
+
+// BenchmarkFig16 sweeps speedup-vs-working-set per benchmark.
+func BenchmarkFig16(b *testing.B) {
+	for _, reg := range workload.Registry {
+		b.Run(reg.Name, func(b *testing.B) {
+			o := figOpts()
+			o.Benches = []string{reg.Name}
+			for i := 0; i < b.N; i++ {
+				render(b, figures.Fig16(o))
+			}
+		})
+	}
+}
+
+// BenchmarkFig17 produces the busy/idle/overhead breakdowns.
+func BenchmarkFig17(b *testing.B) {
+	o := figOpts()
+	o.Benches = []string{"quicksort", "dtree"}
+	for i := 0; i < b.N; i++ {
+		render(b, figures.Fig17(o))
+	}
+}
+
+// BenchmarkFig18 produces the cache miss counts.
+func BenchmarkFig18(b *testing.B) {
+	o := figOpts()
+	o.Benches = []string{"dtree"}
+	for i := 0; i < b.N; i++ {
+		render(b, figures.Fig18(o))
+	}
+}
+
+// BenchmarkFig19 runs the RRM hint-sensitivity sweep (trimmed alphas).
+func BenchmarkFig19(b *testing.B) {
+	old := figures.Fig19Alphas
+	figures.Fig19Alphas = []float64{1, 4}
+	defer func() { figures.Fig19Alphas = old }()
+	o := figOpts()
+	for i := 0; i < b.N; i++ {
+		render(b, figures.Fig19(o))
+	}
+}
+
+// BenchmarkFig20 runs the no-hint study (trimmed bench list).
+func BenchmarkFig20(b *testing.B) {
+	old := figures.Fig20Benches
+	figures.Fig20Benches = []string{"quicksort", "dtree"}
+	defer func() { figures.Fig20Benches = old }()
+	o := figOpts()
+	for i := 0; i < b.N; i++ {
+		render(b, figures.Fig20(o))
+	}
+}
+
+// BenchmarkFig21 runs the NUMA placement study on the 2-socket machine.
+func BenchmarkFig21(b *testing.B) {
+	o := figOpts()
+	o.Machine = topology.OakbridgeCX()
+	o.SizeFactors = []float64{2}
+	o.Benches = []string{"heat2d"}
+	for i := 0; i < b.N; i++ {
+		render(b, figures.Fig21(o))
+	}
+}
+
+// BenchmarkSimEngine measures raw simulator throughput (events/sec proxy:
+// one mid-size decision tree run).
+func BenchmarkSimEngine(b *testing.B) {
+	for _, mode := range sim.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(sim.Config{
+					Machine: topology.TwoLevel16(),
+					Mode:    mode,
+					Seed:    7,
+				})
+				inst := workload.DecisionTree(16<<20, 3)
+				root, _ := inst.Prepare(eng.Memory())
+				eng.Run(root)
+			}
+		})
+	}
+}

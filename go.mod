@@ -1,0 +1,3 @@
+module github.com/parlab/adws
+
+go 1.22

@@ -1,0 +1,51 @@
+package dataset
+
+import "testing"
+
+func TestDatasetShape(t *testing.T) {
+	ds := Synthetic(1000, 0, 2) // attrs<=0 defaults to 28
+	if ds.Attrs != DefaultAttrs {
+		t.Errorf("Attrs = %d, want %d", ds.Attrs, DefaultAttrs)
+	}
+	if ds.Bytes() != 1000*28*8 {
+		t.Errorf("Bytes = %d", ds.Bytes())
+	}
+	// Labels are roughly balanced.
+	ones := 0
+	for _, l := range ds.Labels {
+		ones += int(l)
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("label balance %d/1000", ones)
+	}
+	// Split holds out the tail.
+	train, test := ds.Split(100)
+	if len(train) != 900 || len(test) != 100 || test[0] != 900 {
+		t.Errorf("split wrong: %d/%d/%v", len(train), len(test), test[0])
+	}
+	// Oversized test request falls back to half.
+	tr2, te2 := ds.Split(5000)
+	if len(tr2) != 500 || len(te2) != 500 {
+		t.Errorf("oversized split: %d/%d", len(tr2), len(te2))
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	a := Synthetic(500, 6, 9)
+	b := Synthetic(500, 6, 9)
+	for i := 0; i < 500; i++ {
+		if a.Labels[i] != b.Labels[i] || a.Values[3][i] != b.Values[3][i] {
+			t.Fatal("datasets with equal seeds differ")
+		}
+	}
+	c := Synthetic(500, 6, 10)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.Values[0][i] == c.Values[0][i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/500 equal values", same)
+	}
+}

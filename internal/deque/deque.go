@@ -1,0 +1,117 @@
+// Package deque implements the Chase–Lev lock-free work-stealing deque
+// (Chase & Lev, SPAA 2005; Lê et al., PPoPP 2013 for the memory-model
+// treatment). The owner pushes and pops at the bottom without contention;
+// thieves steal from the top with a single CAS. The adws runtime uses it
+// for conventional work-stealing domains, where each queue has exactly one
+// owning worker; ADWS's depth-separated primary/migration queues need
+// multi-queue operations and use a locked structure instead.
+package deque
+
+import "sync/atomic"
+
+// ring is a circular buffer of a power-of-two size.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, buf: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+func (r *ring[T]) grow(b, t int64) *ring[T] {
+	nr := newRing[T]((r.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// Deque is a lock-free work-stealing deque of *T. The zero value is not
+// usable; call New.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[ring[T]]
+}
+
+// MinCapacity is the initial ring size.
+const MinCapacity = 64
+
+// New creates an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](MinCapacity))
+	return d
+}
+
+// Len returns a point-in-time size estimate.
+func (d *Deque[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// PushBottom appends v at the owner's end. Only the owning worker may call
+// it.
+func (d *Deque[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask { // full
+		r = r.grow(b, t)
+		d.ring.Store(r)
+	}
+	r.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the most recently pushed element. Only the
+// owning worker may call it.
+func (d *Deque[T]) PopBottom() (*T, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case t > b:
+		// Empty: restore.
+		d.bottom.Store(b + 1)
+		return nil, false
+	case t == b:
+		// Last element: race with thieves via CAS on top.
+		v := r.get(b)
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // lost to a thief
+		}
+		d.bottom.Store(b + 1)
+		if v == nil {
+			return nil, false
+		}
+		return v, true
+	default:
+		return r.get(b), true
+	}
+}
+
+// Steal removes and returns the oldest element. Any goroutine may call it.
+func (d *Deque[T]) Steal() (*T, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil, false
+		}
+		r := d.ring.Load()
+		v := r.get(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+		// Lost the race; retry unless now empty.
+	}
+}

@@ -1,0 +1,135 @@
+package figures
+
+import (
+	"fmt"
+
+	"github.com/parlab/adws/internal/sim"
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// Fig16 regenerates the paper's Fig. 16: speedup over serial execution on
+// all workers, for every benchmark, across working-set sizes spanning the
+// aggregate shared-cache capacity. For MatMul the paper plots FLOPS; we
+// plot simulated GFLOPS-equivalents (FLOPs per virtual time unit), which
+// preserves the ordering and ratios.
+func Fig16(o Options) []Figure {
+	o = o.withDefaults()
+	var figs []Figure
+	agg := o.Machine.AggregateCapacity(1)
+	for _, reg := range workload.Registry {
+		if !o.benchSelected(reg.Name) {
+			continue
+		}
+		fig := Figure{
+			ID:     "fig16/" + reg.Name,
+			Title:  fmt.Sprintf("Speedup on %d workers vs working set size (%s)", o.Machine.NumWorkers(), reg.Name),
+			XLabel: "working-set",
+			YLabel: "speedup over serial",
+			Notes: []string{
+				fmt.Sprintf("aggregate shared cache (dashed line in the paper) = %s",
+					topology.FormatBytes(agg)),
+			},
+		}
+		if reg.Name == "matmul" {
+			fig.YLabel = "FLOPs per time unit"
+		}
+		series := make([]Series, len(sim.Modes))
+		for i, m := range sim.Modes {
+			series[i].Label = m.String()
+		}
+		for _, bytes := range o.sizes() {
+			inst := o.buildInstance(reg.Name, bytes)
+			results, serial := o.measureAllModes(inst)
+			fig.XTicks = append(fig.XTicks, topology.FormatBytes(bytes))
+			for i, m := range sim.Modes {
+				r := results[m]
+				y := r.Speedup(serial.Time)
+				if reg.Name == "matmul" && r.Time > 0 {
+					y = inst.FLOPs / r.Time
+				}
+				series[i].X = append(series[i].X, float64(bytes))
+				series[i].Y = append(series[i].Y, y)
+			}
+		}
+		fig.Series = series
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Fig17 regenerates the execution time breakdown (busy/idle/overhead per
+// worker, averaged) at the largest Fig. 16 size for each benchmark.
+func Fig17(o Options) []Figure {
+	o = o.withDefaults()
+	sizes := o.sizes()
+	largest := sizes[len(sizes)-1]
+	var figs []Figure
+	for _, reg := range workload.Registry {
+		if !o.benchSelected(reg.Name) {
+			continue
+		}
+		inst := o.buildInstance(reg.Name, largest)
+		fig := Figure{
+			ID:     "fig17/" + reg.Name,
+			Title:  fmt.Sprintf("Execution time breakdown, %s at %s", reg.Name, topology.FormatBytes(largest)),
+			XLabel: "scheduler",
+			YLabel: "time per worker",
+		}
+		busy := Series{Label: "busy"}
+		idle := Series{Label: "idle"}
+		oh := Series{Label: "overhead"}
+		total := Series{Label: "total(makespan)"}
+		results, _ := o.measureAllModes(inst)
+		p := float64(o.Machine.NumWorkers())
+		for i, m := range sim.Modes {
+			r := results[m]
+			fig.XTicks = append(fig.XTicks, m.String())
+			x := float64(i)
+			busy.X, busy.Y = append(busy.X, x), append(busy.Y, r.BusyTime/p)
+			idle.X, idle.Y = append(idle.X, x), append(idle.Y, r.IdleTime/p)
+			oh.X, oh.Y = append(oh.X, x), append(oh.Y, r.OverheadTime/p)
+			total.X, total.Y = append(total.X, x), append(total.Y, r.Time)
+		}
+		fig.Series = []Series{busy, idle, oh, total}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Fig18 regenerates the cache miss counts (private-level "L2" and
+// shared-level "L3" misses) at the largest Fig. 16 size, including the
+// serial reference the paper plots alongside.
+func Fig18(o Options) []Figure {
+	o = o.withDefaults()
+	sizes := o.sizes()
+	largest := sizes[len(sizes)-1]
+	var figs []Figure
+	for _, reg := range workload.Registry {
+		if !o.benchSelected(reg.Name) {
+			continue
+		}
+		inst := o.buildInstance(reg.Name, largest)
+		fig := Figure{
+			ID:     "fig18/" + reg.Name,
+			Title:  fmt.Sprintf("Cache misses, %s at %s", reg.Name, topology.FormatBytes(largest)),
+			XLabel: "scheduler",
+			YLabel: "misses",
+		}
+		l2 := Series{Label: "L2-misses"}
+		l3 := Series{Label: "L3-misses"}
+		results, serial := o.measureAllModes(inst)
+		for i, m := range sim.Modes {
+			r := results[m]
+			fig.XTicks = append(fig.XTicks, m.String())
+			l2.X, l2.Y = append(l2.X, float64(i)), append(l2.Y, float64(r.PrivateMisses))
+			l3.X, l3.Y = append(l3.X, float64(i)), append(l3.Y, float64(r.SharedMisses))
+		}
+		fig.XTicks = append(fig.XTicks, "serial")
+		l2.X, l2.Y = append(l2.X, float64(len(sim.Modes))), append(l2.Y, float64(serial.PrivateMisses))
+		l3.X, l3.Y = append(l3.X, float64(len(sim.Modes))), append(l3.Y, float64(serial.SharedMisses))
+		fig.Series = []Series{l2, l3}
+		figs = append(figs, fig)
+	}
+	return figs
+}

@@ -1,0 +1,151 @@
+package figures
+
+import (
+	"fmt"
+
+	"github.com/parlab/adws/internal/sim"
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// Fig19Alphas is the paper's work-ratio sweep for the RRM imbalance study.
+var Fig19Alphas = []float64{1, 1.5, 2, 3, 4, 6, 8, 10, 12}
+
+// Fig19 regenerates the work-hint sensitivity study: RRM with the array
+// divided 1:alpha at each recursion, comparing ADWS with exact hints
+// against ADWS guessing 1:1 ("w/o hint"), as improvement over SL-WS
+// (1 - T/T_SLWS). Two working-set sizes are studied: one fitting the
+// aggregate shared caches (the paper's 64 MB) and one far larger (the
+// paper's 1024 MB) — here scaled by the same ratios to the simulated
+// machine's aggregate capacity.
+func Fig19(o Options) []Figure {
+	o = o.withDefaults()
+	agg := float64(o.Machine.AggregateCapacity(1))
+	// Paper: 64 MB and 1024 MB on a 77 MB machine -> 0.83x and 13.3x,
+	// rounded to powers of two like the paper's sizes.
+	sizes := []int64{roundPow2(int64(0.7 * agg)), roundPow2(int64(13.3 * agg))}
+	labels := []string{"fitting-L3", "large"}
+
+	var figs []Figure
+	for si, bytes := range sizes {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig19/%s", labels[si]),
+			Title:  fmt.Sprintf("Hint sensitivity on RRM, working set %s", topology.FormatBytes(bytes)),
+			XLabel: "alpha",
+			YLabel: "improvement over SL-WS (1 - T/T_SLWS)",
+		}
+		kinds := []struct {
+			label   string
+			mode    sim.Mode
+			noHints bool
+		}{
+			{"SL-ADWS", sim.SLADWS, false},
+			{"ML-ADWS", sim.MLADWS, false},
+			{"SL-ADWS(w/o hint)", sim.SLADWS, true},
+			{"ML-ADWS(w/o hint)", sim.MLADWS, true},
+			{"ML-WS", sim.MLWS, false},
+			{"SB", sim.SB, false},
+		}
+		series := make([]Series, len(kinds))
+		for i, k := range kinds {
+			series[i].Label = k.label
+		}
+		for _, alpha := range Fig19Alphas {
+			inst := workload.RRM(bytes, alpha, o.Seed)
+			base := o.run(inst, runConfig{mode: sim.SLWS, numa: sim.Interleave})
+			fig.XTicks = append(fig.XTicks, fmt.Sprintf("%g", alpha))
+			for i, k := range kinds {
+				r := o.run(inst, runConfig{mode: k.mode, numa: sim.Interleave, noHints: k.noHints})
+				impr := 1 - r.Time/base.Time
+				series[i].X = append(series[i].X, alpha)
+				series[i].Y = append(series[i].Y, impr)
+			}
+		}
+		fig.Series = series
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Fig20Benches are the irregular benchmarks of the no-hint study (§6.4);
+// MatMul and Heat2D are excluded because a 1:1 guess is exact for them.
+var Fig20Benches = []string{"quicksort", "kdtree", "dtree", "sph"}
+
+// Fig20 regenerates the no-work-hints evaluation: ADWS guessing equal
+// work, reported as the improvement of the no-hint configuration over the
+// hinted one (expected negative), at a working set near the aggregate
+// shared capacity and at a much larger one.
+func Fig20(o Options) []Figure {
+	o = o.withDefaults()
+	agg := float64(o.Machine.AggregateCapacity(1))
+	// Paper: Fig. 20a uses sizes near the total L3 (e.g. 89 MB on 77 MB),
+	// Fig. 20b roughly 10x larger; rounded to powers of two.
+	sizes := []int64{roundPow2(int64(1.3 * agg)), roundPow2(int64(11.5 * agg))}
+	labels := []string{"near-L3", "large"}
+
+	var figs []Figure
+	for si, bytes := range sizes {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig20/%s", labels[si]),
+			Title:  fmt.Sprintf("ADWS without work hints, working set %s", topology.FormatBytes(bytes)),
+			XLabel: "benchmark",
+			YLabel: "improvement of no-hint over hinted (negative = slower)",
+		}
+		slImpr := Series{Label: "SL-ADWS(w/o hint) vs SL-ADWS"}
+		mlImpr := Series{Label: "ML-ADWS(w/o hint) vs ML-ADWS"}
+		slVsWS := Series{Label: "SL-ADWS(w/o hint) vs SL-WS"}
+		for bi, name := range Fig20Benches {
+			if !o.benchSelected(name) {
+				continue
+			}
+			inst := o.buildInstance(name, bytes)
+			fig.XTicks = append(fig.XTicks, name)
+			x := float64(bi)
+			slHint := o.run(inst, runConfig{mode: sim.SLADWS, numa: sim.Interleave})
+			slNo := o.run(inst, runConfig{mode: sim.SLADWS, numa: sim.Interleave, noHints: true})
+			mlHint := o.run(inst, runConfig{mode: sim.MLADWS, numa: sim.Interleave})
+			mlNo := o.run(inst, runConfig{mode: sim.MLADWS, numa: sim.Interleave, noHints: true})
+			ws := o.run(inst, runConfig{mode: sim.SLWS, numa: sim.Interleave})
+			slImpr.X, slImpr.Y = append(slImpr.X, x), append(slImpr.Y, 1-slNo.Time/slHint.Time)
+			mlImpr.X, mlImpr.Y = append(mlImpr.X, x), append(mlImpr.Y, 1-mlNo.Time/mlHint.Time)
+			slVsWS.X, slVsWS.Y = append(slVsWS.X, x), append(slVsWS.Y, 1-slNo.Time/ws.Time)
+		}
+		fig.Series = []Series{slImpr, mlImpr, slVsWS}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// Fig21 regenerates the NUMA memory policy study: SL- and ML-ADWS with the
+// interleave policy versus the local allocation (parallel first-touch)
+// policy, at the largest Fig. 16 working set, reported as improvement of
+// local allocation over interleave.
+func Fig21(o Options) []Figure {
+	o = o.withDefaults()
+	sizes := o.sizes()
+	largest := sizes[len(sizes)-1]
+	fig := Figure{
+		ID:     "fig21",
+		Title:  fmt.Sprintf("NUMA local allocation vs interleave at %s", topology.FormatBytes(largest)),
+		XLabel: "benchmark",
+		YLabel: "improvement of local alloc over interleave",
+	}
+	slImpr := Series{Label: "SL-ADWS"}
+	mlImpr := Series{Label: "ML-ADWS"}
+	for bi, reg := range workload.Registry {
+		if !o.benchSelected(reg.Name) {
+			continue
+		}
+		inst := o.buildInstance(reg.Name, largest)
+		fig.XTicks = append(fig.XTicks, reg.Name)
+		x := float64(bi)
+		slI := o.run(inst, runConfig{mode: sim.SLADWS, numa: sim.Interleave})
+		slL := o.run(inst, runConfig{mode: sim.SLADWS, numa: sim.FirstTouch, withInit: true})
+		mlI := o.run(inst, runConfig{mode: sim.MLADWS, numa: sim.Interleave})
+		mlL := o.run(inst, runConfig{mode: sim.MLADWS, numa: sim.FirstTouch, withInit: true})
+		slImpr.X, slImpr.Y = append(slImpr.X, x), append(slImpr.Y, 1-slL.Time/slI.Time)
+		mlImpr.X, mlImpr.Y = append(mlImpr.X, x), append(mlImpr.Y, 1-mlL.Time/mlI.Time)
+	}
+	fig.Series = []Series{slImpr, mlImpr}
+	return []Figure{fig}
+}

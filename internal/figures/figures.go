@@ -1,0 +1,144 @@
+// Package figures regenerates the tables and figures of the ADWS paper's
+// evaluation (§6) from the simulator: Fig. 16 (speedup vs working-set
+// size), Fig. 17 (execution time breakdown), Fig. 18 (cache miss counts),
+// Fig. 19 (work-hint sensitivity on RRM), Fig. 20 (no-hint ADWS), Fig. 21
+// (NUMA memory policies), plus Table 1 (machine configuration).
+//
+// Absolute numbers are simulator units; the claims under reproduction are
+// the shapes: orderings, ratios, and crossover positions (see
+// EXPERIMENTS.md).
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/parlab/adws/internal/topology"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a rendered-agnostic figure: labelled series over a common
+// x-axis, or grouped rows when X carries category indices.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks optionally names categorical x positions.
+	XTicks []string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	// Header.
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, len(cols))
+		if len(f.XTicks) > i {
+			row[0] = f.XTicks[i]
+		} else if len(f.Series) > 0 && len(f.Series[0].X) > i {
+			row[0] = formatX(f.Series[0].X[i])
+		}
+		for j, s := range f.Series {
+			if len(s.Y) > i {
+				row[j+1] = fmt.Sprintf("%.3g", s.Y[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for j, c := range row {
+			if len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for j, c := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[j], c)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(w, "# %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the figure as comma-separated values.
+func (f Figure) CSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, len(cols))
+		if len(f.XTicks) > i {
+			row[0] = f.XTicks[i]
+		} else if len(f.Series) > 0 && len(f.Series[0].X) > i {
+			row[0] = fmt.Sprintf("%g", f.Series[0].X[i])
+		}
+		for j, s := range f.Series {
+			if len(s.Y) > i {
+				row[j+1] = fmt.Sprintf("%g", s.Y[i])
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func formatX(x float64) string {
+	if x >= 1<<20 && x == float64(int64(x)) {
+		return topology.FormatBytes(int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Table1 renders the simulated machine configuration, mirroring the
+// paper's Table 1.
+func Table1(m *topology.Machine, w io.Writer) {
+	fmt.Fprintf(w, "== Table 1: Simulated machine configuration ==\n")
+	fmt.Fprintf(w, "Machine           %s\n", m.Name)
+	fmt.Fprintf(w, "# of workers      %d\n", m.NumWorkers())
+	for level := 1; level <= m.MaxLevel(); level++ {
+		caches := m.LevelCaches(level)
+		kind := "shared"
+		if level == m.MaxLevel() {
+			kind = "private"
+		}
+		fmt.Fprintf(w, "Level-%d caches    %d x %s (%s)\n", level, len(caches),
+			topology.FormatBytes(caches[0].Capacity), kind)
+	}
+	fmt.Fprintf(w, "Aggregate shared  %s (the Fig. 16 dashed line)\n",
+		topology.FormatBytes(m.AggregateCapacity(1)))
+	fmt.Fprintf(w, "NUMA nodes        %d\n\n", m.NumNUMANodes())
+}

@@ -1,0 +1,150 @@
+package figures
+
+import (
+	"github.com/parlab/adws/internal/sim"
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// Options configures figure generation.
+type Options struct {
+	// Machine defaults to topology.OakbridgeCX().
+	Machine *topology.Machine
+	// SizeFactors scale the aggregate shared-cache capacity to produce the
+	// working-set sweep of Fig. 16. Defaults to
+	// {1/8, 1/4, 1/2, 1, 2, 4, 8, 16}.
+	SizeFactors []float64
+	// Reps is the number of repetitions per measurement; the last
+	// repetition (warm caches) is measured, as the paper discards its
+	// warm-up run. Default 2.
+	Reps int
+	// Seed drives all pseudo-randomness.
+	Seed uint64
+	// Benches restricts the benchmark set (nil = all).
+	Benches []string
+	// Costs overrides the simulator cost model.
+	Costs sim.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = topology.OakbridgeCX()
+	}
+	if len(o.SizeFactors) == 0 {
+		o.SizeFactors = []float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16}
+	}
+	if o.Reps < 2 {
+		o.Reps = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 20190301 // arbitrary fixed default
+	}
+	return o
+}
+
+func (o Options) benchSelected(name string) bool {
+	if len(o.Benches) == 0 {
+		return true
+	}
+	for _, b := range o.Benches {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) sizes() []int64 {
+	agg := float64(o.Machine.AggregateCapacity(1))
+	out := make([]int64, len(o.SizeFactors))
+	for i, f := range o.SizeFactors {
+		out[i] = roundPow2(int64(f * agg))
+	}
+	return out
+}
+
+// roundPow2 rounds to the nearest power of two. The paper's working-set
+// axes are powers of two (64 MB, 1024 MB, ...); power-of-two sizes also
+// keep the benchmarks' recursive halving exact, so that "exact hints" do
+// not place distribution boundaries at fractional worker positions that
+// the paper's configurations never exercise.
+func roundPow2(v int64) int64 {
+	if v < 2 {
+		return 1
+	}
+	lo := int64(1)
+	for lo*2 <= v {
+		lo *= 2
+	}
+	hi := lo * 2
+	if float64(v)/float64(lo) < float64(hi)/float64(v) {
+		return lo
+	}
+	return hi
+}
+
+// measurement bundles the parallel result with its serial reference.
+type measurement struct {
+	res    sim.RunResult
+	serial sim.SerialResult
+}
+
+// runConfig is one simulator execution request.
+type runConfig struct {
+	mode    sim.Mode
+	numa    sim.NUMAPolicy
+	noHints bool
+	// withInit runs the instance's parallel init body once before the
+	// measured repetitions (first-touch page placement, §6.5).
+	withInit bool
+}
+
+// run executes an instance for `reps` repetitions under cfg and returns
+// the final (warm) repetition's result.
+func (o Options) run(inst workload.Instance, cfg runConfig) sim.RunResult {
+	eng := sim.NewEngine(sim.Config{
+		Machine:         o.Machine,
+		Mode:            cfg.mode,
+		Costs:           o.Costs,
+		Seed:            o.Seed,
+		NUMA:            cfg.numa,
+		IgnoreWorkHints: cfg.noHints,
+	})
+	root, init := inst.Prepare(eng.Memory())
+	if cfg.withInit && init != nil {
+		eng.Run(init)
+	}
+	var res sim.RunResult
+	for r := 0; r < o.Reps; r++ {
+		res = eng.Run(root)
+	}
+	return res
+}
+
+// serial executes the serial reference (fixed worker, local allocation,
+// measured warm like the paper's serial baselines).
+func (o Options) serial(inst workload.Instance) sim.SerialResult {
+	return sim.RunSerial(o.Machine, o.Costs, sim.Node0, o.Reps,
+		func(mem *sim.Memory) sim.Body {
+			root, _ := inst.Prepare(mem)
+			return root
+		})
+}
+
+// measureAllModes runs an instance under every scheduler plus serial.
+func (o Options) measureAllModes(inst workload.Instance) (map[sim.Mode]sim.RunResult, sim.SerialResult) {
+	out := make(map[sim.Mode]sim.RunResult, len(sim.Modes))
+	for _, mode := range sim.Modes {
+		out[mode] = o.run(inst, runConfig{mode: mode, numa: sim.Interleave})
+	}
+	return out, o.serial(inst)
+}
+
+// buildInstance constructs a benchmark instance at a working-set size.
+func (o Options) buildInstance(name string, bytes int64) workload.Instance {
+	b, ok := workload.ByName(name)
+	if !ok {
+		panic("figures: unknown benchmark " + name)
+	}
+	return b(bytes, o.Seed)
+}

@@ -1,0 +1,325 @@
+package kernels
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/sched"
+)
+
+func testPool(t *testing.T, s adws.Scheduler) *adws.Pool {
+	t.Helper()
+	p, err := adws.NewPool(
+		adws.WithScheduler(s),
+		adws.WithHierarchy([]adws.CacheLevel{
+			{Fanout: 2, CapacityBytes: 8 << 20},
+			{Fanout: 4, CapacityBytes: 1 << 20},
+		}, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func allSchedulers() []adws.Scheduler {
+	return []adws.Scheduler{adws.WorkStealing, adws.ADWS, adws.MultiLevelWS, adws.MultiLevelADWS}
+}
+
+func randomData(n int, seed uint64) []float64 {
+	rng := sched.NewRNG(seed, 0)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*2000 - 1000
+	}
+	return out
+}
+
+func TestQuicksortAllSchedulers(t *testing.T) {
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		data := randomData(100_000, 1)
+		Quicksort(p, data)
+		if !sort.Float64sAreSorted(data) {
+			t.Errorf("%v: output not sorted", s)
+		}
+	}
+}
+
+func TestQuicksortPreservesMultiset(t *testing.T) {
+	p := testPool(t, adws.ADWS)
+	data := randomData(50_000, 2)
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	Quicksort(p, data)
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, data[i], want[i])
+		}
+	}
+}
+
+func TestQuicksortDuplicateKeys(t *testing.T) {
+	p := testPool(t, adws.ADWS)
+	data := make([]float64, 40_000)
+	for i := range data {
+		data[i] = float64(i % 3)
+	}
+	Quicksort(p, data)
+	if !sort.Float64sAreSorted(data) {
+		t.Error("duplicate-key input not sorted")
+	}
+}
+
+func TestQuicksortSmall(t *testing.T) {
+	p := testPool(t, adws.WorkStealing)
+	data := []float64{3, 1, 2}
+	Quicksort(p, data)
+	if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+		t.Errorf("small sort wrong: %v", data)
+	}
+}
+
+func TestMatMulCorrectness(t *testing.T) {
+	const n = 150 // odd size exercises the rectangular path
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		A, B, C := NewMatrix(n), NewMatrix(n), NewMatrix(n)
+		rng := sched.NewRNG(9, 0)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A.Set(i, j, float32(rng.Float64()-0.5))
+				B.Set(i, j, float32(rng.Float64()-0.5))
+			}
+		}
+		MatMul(p, C, A, B)
+		// Spot-check against the naive product.
+		for _, ij := range [][2]int{{0, 0}, {n - 1, n - 1}, {n / 2, n / 3}, {3, n - 2}} {
+			var want float32
+			for k := 0; k < n; k++ {
+				want += A.At(ij[0], k) * B.At(k, ij[1])
+			}
+			got := C.At(ij[0], ij[1])
+			if math.Abs(float64(got-want)) > 1e-3 {
+				t.Errorf("%v: C[%d][%d] = %v, want %v", s, ij[0], ij[1], got, want)
+			}
+		}
+	}
+}
+
+func TestHeat2DConservesAndSmooths(t *testing.T) {
+	const n = 200
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		src, dst := NewGrid(n), NewGrid(n)
+		src.Set(n/2, n/2, 1000)
+		out := Heat2D(p, src, dst, 4)
+		// A reflecting five-point average keeps values in [0, max].
+		var sum, max float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := out.At(i, j)
+				if v < 0 {
+					t.Fatalf("%v: negative cell %v", s, v)
+				}
+				sum += v
+				if v > max {
+					max = v
+				}
+			}
+		}
+		if max >= 1000 {
+			t.Errorf("%v: heat did not diffuse (max %v)", s, max)
+		}
+		if sum <= 0 {
+			t.Errorf("%v: heat vanished", s)
+		}
+		// The spike's neighbours received heat.
+		if out.At(n/2+1, n/2) == 0 {
+			t.Errorf("%v: no diffusion to neighbours", s)
+		}
+	}
+}
+
+func TestHeat2DMatchesSerialReference(t *testing.T) {
+	const n = 96
+	p := testPool(t, adws.MultiLevelADWS)
+	src, dst := NewGrid(n), NewGrid(n)
+	ref0, ref1 := NewGrid(n), NewGrid(n)
+	rng := sched.NewRNG(4, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.Float64()
+			src.Set(i, j, v)
+			ref0.Set(i, j, v)
+		}
+	}
+	out := Heat2D(p, src, dst, 3)
+	// Serial reference.
+	s, d := ref0, ref1
+	for it := 0; it < 3; it++ {
+		heatKernel(s, d, 0, 0, n, n)
+		s, d = d, s
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(out.At(i, j)-s.At(i, j)) > 1e-12 {
+				t.Fatalf("cell (%d,%d): %v vs serial %v", i, j, out.At(i, j), s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRRMAppliesMaps(t *testing.T) {
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		n := 100_000
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = 1
+		}
+		RRM(p, data, 1)
+		// Every element was mapped at least 3 times (more at deeper
+		// recursion levels): x -> x*(2.0000001) each application.
+		minFactor := math.Pow(2.0000001, 3)
+		for i, v := range data {
+			if v < minFactor {
+				t.Fatalf("%v: element %d = %v, want >= %v", s, i, v, minFactor)
+			}
+		}
+		// Deeper levels apply more maps: the first element (deepest chain)
+		// saw more applications than 3.
+		if data[0] < math.Pow(2.0000001, 6) {
+			t.Errorf("%v: recursion did not reapply maps (data[0]=%v)", s, data[0])
+		}
+	}
+}
+
+func TestRRMWorkHintConsistency(t *testing.T) {
+	// rrmWork must equal maps-per-level summed over the recursion tree.
+	n := 50_000
+	var walk func(n int, alpha float64) float64
+	walk = func(n int, alpha float64) float64 {
+		w := float64(rrmRepeats * n)
+		if n > rrmRecCutoff {
+			nl := int(float64(n) / (1 + alpha))
+			if nl < 1 {
+				nl = 1
+			}
+			w += walk(nl, alpha) + walk(n-nl, alpha)
+		}
+		return w
+	}
+	if got, want := rrmWork(n, 2), walk(n, 2); got != want {
+		t.Errorf("rrmWork = %v, want %v", got, want)
+	}
+}
+
+func TestKDTreeStructure(t *testing.T) {
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		rng := sched.NewRNG(5, 0)
+		pts := make([]KDPoint, 50_000)
+		for i := range pts {
+			pts[i] = KDPoint{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		}
+		root := KDTree(p, pts)
+		// Every split plane must actually separate its children.
+		var check func(n *KDNode) int
+		check = func(n *KDNode) int {
+			if n == nil {
+				return 0
+			}
+			if n.Axis < 0 {
+				if n.Hi-n.Lo > kdCutoff {
+					// Degenerate planes may leave big leaves, but only for
+					// duplicate coordinates; random data should not.
+					t.Errorf("%v: oversized leaf [%d,%d)", s, n.Lo, n.Hi)
+				}
+				return n.Hi - n.Lo
+			}
+			for i := n.Left.Lo; i < n.Left.Hi; i++ {
+				if kdAxis(pts[i], n.Axis) >= n.Split {
+					t.Fatalf("%v: left child point %d violates plane", s, i)
+				}
+			}
+			for i := n.Right.Lo; i < n.Right.Hi; i++ {
+				if kdAxis(pts[i], n.Axis) < n.Split {
+					t.Fatalf("%v: right child point %d violates plane", s, i)
+				}
+			}
+			return check(n.Left) + check(n.Right)
+		}
+		if total := check(root); total != len(pts) {
+			t.Errorf("%v: leaves cover %d points, want %d", s, total, len(pts))
+		}
+	}
+}
+
+func TestSPHForces(t *testing.T) {
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		sys := NewDamBreak(20_000, 3)
+		sys.ComputeForces(p)
+		// Densities accumulated somewhere (particles are densely packed).
+		var withDensity int
+		for i := range sys.Particles {
+			if sys.Particles[i].Density > 0 {
+				withDensity++
+			}
+		}
+		if withDensity < len(sys.Particles)/2 {
+			t.Errorf("%v: only %d/%d particles have density", s, withDensity, len(sys.Particles))
+		}
+	}
+}
+
+func TestSPHTreeInvariants(t *testing.T) {
+	sys := NewDamBreak(10_000, 7)
+	// Leaves partition the particle range.
+	covered := 0
+	for _, l := range sys.leaves {
+		if l.count() > SPHLeafCap {
+			// Octree leaves may exceed the cap only at max depth.
+			t.Logf("deep leaf with %d particles", l.count())
+		}
+		covered += l.count()
+	}
+	if covered != len(sys.Particles) {
+		t.Errorf("leaves cover %d particles, want %d", covered, len(sys.Particles))
+	}
+	// Particles respect their leaf boxes.
+	for _, l := range sys.leaves {
+		for i := l.lo; i < l.hi; i++ {
+			pt := sys.Particles[i]
+			if pt.X < l.minX-1e-9 || pt.X > l.maxX+1e-9 ||
+				pt.Y < l.minY-1e-9 || pt.Y > l.maxY+1e-9 ||
+				pt.Z < l.minZ-1e-9 || pt.Z > l.maxZ+1e-9 {
+				t.Fatalf("particle %d outside its leaf box", i)
+			}
+		}
+	}
+}
+
+func TestSPHDeterministicAcrossSchedulers(t *testing.T) {
+	// Forces are pure sums over fixed neighbours: schedulers must agree
+	// exactly.
+	var ref []Particle
+	for _, s := range allSchedulers() {
+		p := testPool(t, s)
+		sys := NewDamBreak(5_000, 11)
+		sys.ComputeForces(p)
+		if ref == nil {
+			ref = append([]Particle(nil), sys.Particles...)
+			continue
+		}
+		for i := range sys.Particles {
+			if sys.Particles[i].Density != ref[i].Density || sys.Particles[i].FX != ref[i].FX {
+				t.Fatalf("%v: particle %d diverged", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package kernels
+
+import (
+	"math"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/sched"
+)
+
+// SPH implements a compact smoothed-particle-hydrodynamics force
+// calculation in the style of the paper's dam-breaking benchmark (§6.2,
+// ported there from FDPS): particles are organized in an octree with at
+// most SPHLeafCap particles per leaf, and each force step computes
+// short-range pair interactions between every leaf and its neighbouring
+// leaves within the smoothing radius. The octree traversal is the
+// parallel task structure; per-node particle counts are the (rough) work
+// hints, as in the paper.
+
+// SPHLeafCap is the octree leaf capacity (the paper uses 32).
+const SPHLeafCap = 32
+
+// Particle is one SPH particle.
+type Particle struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	Mass       float64
+	Density    float64
+	FX, FY, FZ float64
+}
+
+// SPHSystem is a particle system with its octree.
+type SPHSystem struct {
+	Particles []Particle
+	// Radius is the smoothing (interaction) radius.
+	Radius float64
+	root   *sphNode
+	// leaves in tree order, for neighbour search.
+	leaves []*sphNode
+}
+
+type sphNode struct {
+	lo, hi                             int // particle range [lo, hi)
+	minX, minY, minZ, maxX, maxY, maxZ float64
+	children                           []*sphNode
+}
+
+func (n *sphNode) count() int { return n.hi - n.lo }
+
+// NewDamBreak creates a deterministic dam-break-like particle
+// configuration: a dense block of fluid in one corner of a unit box.
+func NewDamBreak(n int, seed uint64) *SPHSystem {
+	rng := sched.NewRNG(seed, 0)
+	ps := make([]Particle, n)
+	for i := range ps {
+		// Dense block occupying 40% x 100% x 60% of the box.
+		ps[i] = Particle{
+			X:    0.4 * rng.Float64(),
+			Y:    rng.Float64(),
+			Z:    0.6 * rng.Float64(),
+			Mass: 1.0 / float64(n),
+		}
+	}
+	s := &SPHSystem{Particles: ps, Radius: 0.6 / math.Cbrt(float64(n))}
+	s.BuildTree()
+	return s
+}
+
+// BuildTree (re)builds the octree over the current particle positions.
+// Tree building is serial, as in the paper's measurement, which times only
+// the force calculation.
+func (s *SPHSystem) BuildTree() {
+	s.leaves = s.leaves[:0]
+	s.root = s.build(0, len(s.Particles), 0, 0, 0, 1, 1, 1, 0)
+}
+
+func (s *SPHSystem) build(lo, hi int, minX, minY, minZ, maxX, maxY, maxZ float64, depth int) *sphNode {
+	n := &sphNode{lo: lo, hi: hi, minX: minX, minY: minY, minZ: minZ, maxX: maxX, maxY: maxY, maxZ: maxZ}
+	if hi-lo <= SPHLeafCap || depth > 24 {
+		s.leaves = append(s.leaves, n)
+		return n
+	}
+	midX, midY, midZ := (minX+maxX)/2, (minY+maxY)/2, (minZ+maxZ)/2
+	// Partition the range into eight octants in place (three binary
+	// partitions: x, then y within each half, then z).
+	xSplit := sphPartition(s.Particles, lo, hi, func(p *Particle) bool { return p.X < midX })
+	for _, xr := range [][2]int{{lo, xSplit}, {xSplit, hi}} {
+		ySplit := sphPartition(s.Particles, xr[0], xr[1], func(p *Particle) bool { return p.Y < midY })
+		for _, yr := range [][2]int{{xr[0], ySplit}, {ySplit, xr[1]}} {
+			sphPartition(s.Particles, yr[0], yr[1], func(p *Particle) bool { return p.Z < midZ })
+		}
+	}
+	// Recollect the octant boundaries by scanning.
+	bounds := [8][2]int{}
+	idx := lo
+	for o := 0; o < 8; o++ {
+		start := idx
+		for idx < hi && s.octant(idx, midX, midY, midZ) == o {
+			idx++
+		}
+		bounds[o] = [2]int{start, idx}
+	}
+	for o, b := range bounds {
+		if b[1] <= b[0] {
+			continue
+		}
+		cMinX, cMaxX := minX, midX
+		if o&4 != 0 {
+			cMinX, cMaxX = midX, maxX
+		}
+		cMinY, cMaxY := minY, midY
+		if o&2 != 0 {
+			cMinY, cMaxY = midY, maxY
+		}
+		cMinZ, cMaxZ := minZ, midZ
+		if o&1 != 0 {
+			cMinZ, cMaxZ = midZ, maxZ
+		}
+		n.children = append(n.children,
+			s.build(b[0], b[1], cMinX, cMinY, cMinZ, cMaxX, cMaxY, cMaxZ, depth+1))
+	}
+	if len(n.children) == 0 {
+		s.leaves = append(s.leaves, n)
+	}
+	return n
+}
+
+func (s *SPHSystem) octant(i int, midX, midY, midZ float64) int {
+	p := &s.Particles[i]
+	o := 0
+	if p.X >= midX {
+		o |= 4
+	}
+	if p.Y >= midY {
+		o |= 2
+	}
+	if p.Z >= midZ {
+		o |= 1
+	}
+	return o
+}
+
+// sphPartition stably-ish partitions [lo,hi) so that pred-true particles
+// come first; returns the boundary.
+func sphPartition(ps []Particle, lo, hi int, pred func(*Particle) bool) int {
+	i := lo
+	for j := lo; j < hi; j++ {
+		if pred(&ps[j]) {
+			ps[i], ps[j] = ps[j], ps[i]
+			i++
+		}
+	}
+	return i
+}
+
+// ComputeForces runs one force-calculation step over the octree on the
+// pool. Work hints are the per-subtree particle counts (rough estimates,
+// as the true cost depends on neighbour density).
+func (s *SPHSystem) ComputeForces(pool *adws.Pool) {
+	pool.Run(func(c *adws.Ctx) {
+		s.forceRec(c, s.root)
+	})
+}
+
+func (s *SPHSystem) forceRec(c *adws.Ctx, n *sphNode) {
+	if len(n.children) == 0 {
+		s.leafForces(n)
+		return
+	}
+	var total float64
+	for _, ch := range n.children {
+		total += float64(ch.count())
+	}
+	g := c.Group(adws.GroupHint{
+		Work: total,
+		Size: int64(n.count()) * int64(particleBytes),
+	})
+	for _, ch := range n.children {
+		ch := ch
+		g.Spawn(float64(ch.count()), func(c *adws.Ctx) { s.forceRec(c, ch) })
+	}
+	g.Wait()
+}
+
+const particleBytes = 10 * 8
+
+// leafForces computes pair interactions for one leaf against itself and
+// every leaf whose box is within the smoothing radius.
+func (s *SPHSystem) leafForces(n *sphNode) {
+	r := s.Radius
+	r2 := r * r
+	for _, other := range s.leaves {
+		if !boxesNear(n, other, r) {
+			continue
+		}
+		for i := n.lo; i < n.hi; i++ {
+			pi := &s.Particles[i]
+			var fx, fy, fz, dens float64
+			for j := other.lo; j < other.hi; j++ {
+				if i == j {
+					continue
+				}
+				pj := &s.Particles[j]
+				dx, dy, dz := pi.X-pj.X, pi.Y-pj.Y, pi.Z-pj.Z
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 >= r2 || d2 == 0 {
+					continue
+				}
+				// Poly6-style density and a simple repulsive pressure
+				// force (Becker & Teschner flavour, reduced).
+				w := (r2 - d2) * (r2 - d2)
+				dens += pj.Mass * w
+				inv := pj.Mass * (r2 - d2) / (d2 + 1e-12)
+				fx += dx * inv
+				fy += dy * inv
+				fz += dz * inv
+			}
+			pi.Density += dens
+			pi.FX += fx
+			pi.FY += fy
+			pi.FZ += fz
+		}
+	}
+}
+
+func boxesNear(a, b *sphNode, r float64) bool {
+	dx := gap(a.minX, a.maxX, b.minX, b.maxX)
+	dy := gap(a.minY, a.maxY, b.minY, b.maxY)
+	dz := gap(a.minZ, a.maxZ, b.minZ, b.maxZ)
+	return dx*dx+dy*dy+dz*dz < r*r
+}
+
+func gap(alo, ahi, blo, bhi float64) float64 {
+	switch {
+	case bhi < alo:
+		return alo - bhi
+	case ahi < blo:
+		return blo - ahi
+	default:
+		return 0
+	}
+}

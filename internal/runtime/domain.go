@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/parlab/adws/internal/deque"
+	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/topology"
+)
+
+// entity is one scheduling slot of a domain, with its own lock-protected
+// queue set. In worker-level domains an entity is permanently bound to one
+// worker; in cache-level domains the acting worker is the cache's current
+// leader.
+type entity struct {
+	dom *domain
+	idx int
+
+	mu sync.Mutex
+	qs sched.QueueSet[*task]
+	// ws is the lock-free fast path used instead of qs in conventional
+	// work-stealing domains (single owner, no depth separation, no
+	// migration queues).
+	ws *deque.Deque[task]
+
+	cache    *mlCache
+	workerID int // fixed acting worker, or -1 for cache-level entities
+
+	// lastGroup anchors the dominant-group walk for steals from this
+	// entity (the "current position in the tree" of §3.2).
+	lastGroup atomic.Pointer[sched.GroupNode]
+}
+
+func (e *entity) push(t *task, migration bool) {
+	if e.ws != nil {
+		// WS domains never migrate, and pushes come only from the entity's
+		// acting worker.
+		e.ws.PushBottom(t)
+		return
+	}
+	e.mu.Lock()
+	if migration {
+		e.qs.PushMigration(t.depth, t)
+	} else {
+		e.qs.PushPrimary(t.depth, t)
+	}
+	e.mu.Unlock()
+}
+
+func (e *entity) popLocal() *task {
+	if e.ws != nil {
+		t, ok := e.ws.PopBottom()
+		if !ok {
+			return nil
+		}
+		return t
+	}
+	e.mu.Lock()
+	t, ok := e.qs.PopLocal()
+	e.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (e *entity) stealMigration(minDepth int) *task {
+	e.mu.Lock()
+	t, ok := e.qs.StealMigration(minDepth)
+	e.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (e *entity) stealPrimary(minDepth int) *task {
+	e.mu.Lock()
+	t, ok := e.qs.StealPrimary(minDepth)
+	e.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+func (e *entity) stealAny() *task {
+	if e.ws != nil {
+		t, ok := e.ws.Steal()
+		if !ok {
+			return nil
+		}
+		return t
+	}
+	e.mu.Lock()
+	t, ok := e.qs.StealAny()
+	e.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+// domain is one single-level scheduling arena (see the simulator's twin in
+// internal/sim for the full commentary).
+type domain struct {
+	id        int64
+	adws      bool
+	entities  []*entity
+	offset    int
+	level     int
+	flattened bool
+	closed    atomic.Bool
+}
+
+func (d *domain) physical(logical int) int {
+	n := len(d.entities)
+	p := logical % n
+	if p < 0 {
+		p += n
+	}
+	return p
+}
+
+func (d *domain) logicalOf(physical int) int {
+	n := len(d.entities)
+	l := physical
+	for l < d.offset {
+		l += n
+	}
+	for l >= d.offset+n {
+		l -= n
+	}
+	return l
+}
+
+func (d *domain) fullRange() sched.Range {
+	return sched.FullRange(d.offset, len(d.entities))
+}
+
+// mlCache is the per-cache multi-level scheduling state, guarded by
+// Pool.ml.Mutex except where noted.
+type mlCache struct {
+	cache *topology.Cache
+	// leader is the worker currently leading this cache (-1 absent).
+	leader int
+	// tied is the group currently tied here (nil if none).
+	tied *taskGroup
+	// entity is this cache's slot in the active domain over its parent's
+	// children (nil while no such domain exists).
+	entity *entity
+	// childDomain is the live domain over this cache's children.
+	childDomain *domain
+}
+
+// newEntity builds an entity for domain d, choosing the lock-free deque
+// fast path for conventional work-stealing domains.
+func newEntity(d *domain, idx int, mc *mlCache, workerID int) *entity {
+	e := &entity{dom: d, idx: idx, cache: mc, workerID: workerID}
+	if !d.adws {
+		e.ws = deque.New[task]()
+	}
+	return e
+}

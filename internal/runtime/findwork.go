@@ -1,0 +1,175 @@
+package runtime
+
+import "github.com/parlab/adws/internal/sched"
+
+// maxStealTries bounds victims tried per findTask call.
+const maxStealTries = 4
+
+// findTask implements GETRUNNABLETASK (paper Fig. 11) for this worker:
+// local pops from the entities the worker acts for, then steals within the
+// current dominant-group steal range (ADWS) or uniformly (WS). minDepth is
+// advisory for helping-wait callers and applies to steals only; local pops
+// always succeed to preserve liveness (DESIGN.md).
+func (w *worker) findTask(minDepth int) *task {
+	cands := w.candidates()
+	// Claim a freshly submitted root task if we act for the root entity.
+	if w.pool.pendingRoot.Load() != nil {
+		rootEnt := w.pool.rootDom.entities[0]
+		for _, ent := range cands {
+			if ent == rootEnt {
+				if t := w.pool.pendingRoot.Swap(nil); t != nil {
+					w.noteStart(ent, t)
+					return t
+				}
+			}
+		}
+	}
+	for _, ent := range cands {
+		if t := ent.popLocal(); t != nil {
+			w.noteStart(ent, t)
+			return t
+		}
+	}
+	for _, ent := range cands {
+		if t := w.trySteal(ent, minDepth); t != nil {
+			w.noteStart(ent, t)
+			return t
+		}
+	}
+	return nil
+}
+
+// noteStart records scheduling bookkeeping when a task begins on entity e.
+func (w *worker) noteStart(e *entity, t *task) {
+	if t.group != nil {
+		e.lastGroup.Store(t.group)
+	}
+	t.ent = e
+}
+
+// candidates returns the entities this worker may act for, in priority
+// order: live flattened domains (newest first, exclusively while any are
+// live), then the entity of the cache the worker leads.
+func (w *worker) candidates() []*entity {
+	p := w.pool
+	if !p.policy.isML() {
+		return []*entity{p.rootDom.entities[w.id]}
+	}
+	var out []*entity
+	w.fdMu.Lock()
+	live := w.fdEnts[:0]
+	for _, ent := range w.fdEnts {
+		if !ent.dom.closed.Load() {
+			live = append(live, ent)
+		}
+	}
+	w.fdEnts = live
+	for i := len(live) - 1; i >= 0; i-- {
+		out = append(out, live[i])
+	}
+	n := len(live)
+	w.fdMu.Unlock()
+	if n > 0 {
+		// One flattened group at a time per cache: a leader inside a live
+		// flattened domain must not start other tasks at its cache level.
+		return out
+	}
+	p.ml.Lock()
+	if w.leads != nil && w.leads.entity != nil && w.leads.leader == w.id {
+		ent := w.leads.entity
+		if !ent.dom.closed.Load() {
+			out = append(out, ent)
+		}
+	}
+	p.ml.Unlock()
+	return out
+}
+
+// trySteal attempts a bounded number of random steals for entity ent.
+func (w *worker) trySteal(ent *entity, minDepth int) *task {
+	d := ent.dom
+	n := len(d.entities)
+	if n <= 1 {
+		return nil
+	}
+	if d.adws {
+		anchor := ent.lastGroup.Load()
+		if anchor == nil {
+			return nil // not dominated: no stealing (Fig. 11 line 40)
+		}
+		self := d.logicalOf(ent.idx)
+		sr, ok := sched.CurrentStealRange(anchor, self)
+		if !ok {
+			return nil
+		}
+		nv := sr.NumVictims(self)
+		if nv <= 0 {
+			return nil
+		}
+		md := sr.MinDepth
+		if minDepth > md {
+			md = minDepth
+		}
+		tries := maxStealTries
+		if tries > nv {
+			tries = nv
+		}
+		for a := 0; a < tries; a++ {
+			w.stealAttempts.Add(1)
+			v := sr.Victim(self, w.rng.Intn(nv))
+			vp := d.physical(v)
+			if vp == ent.idx {
+				continue
+			}
+			ve := d.entities[vp]
+			if sr.MigrationStealable(v) {
+				if t := ve.stealMigration(md); t != nil {
+					w.steals.Add(1)
+					rebase(t, self, d)
+					return t
+				}
+			}
+			if sr.PrimaryStealable(v) {
+				if t := ve.stealPrimary(md); t != nil {
+					w.steals.Add(1)
+					rebase(t, self, d)
+					return t
+				}
+			}
+		}
+		return nil
+	}
+	tries := maxStealTries
+	if tries > n-1 {
+		tries = n - 1
+	}
+	for a := 0; a < tries; a++ {
+		w.stealAttempts.Add(1)
+		v := w.rng.Intn(n - 1)
+		if v >= ent.idx {
+			v++
+		}
+		if t := d.entities[v].stealAny(); t != nil {
+			w.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// rebase re-owns a stolen task's range onto the thief (see DESIGN.md on
+// steal semantics).
+func rebase(t *task, thiefLogical int, d *domain) {
+	t.inMigration = false
+	width := t.rng.Width()
+	frac := t.rng.X - float64(t.rng.Owner())
+	newX := float64(thiefLogical) + frac
+	maxX := float64(d.offset+len(d.entities)) - width
+	if newX > maxX {
+		newX = maxX
+	}
+	if newX < float64(d.offset) {
+		newX = float64(d.offset)
+	}
+	t.rng = sched.Range{X: newX, Y: newX + width}
+}

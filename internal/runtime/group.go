@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	gort "runtime"
+	"time"
+
+	"github.com/parlab/adws/internal/sched"
+)
+
+// GroupHint carries the programmer hints of the paper's Fig. 2b: the total
+// relative work of the group (w_all) and its working-set size in bytes.
+type GroupHint struct {
+	// Work is the total work hint; zero means unknown (ADWS then assumes
+	// equal work per child).
+	Work float64
+	// Size is the working-set size hint in bytes for multi-level
+	// scheduling; zero means unknown (the group is never tied/flattened).
+	Size int64
+}
+
+// Group opens a task group. Spawn children with per-child work hints, then
+// Wait for all of them; a task may open several groups sequentially but
+// they must not overlap.
+func (c *Ctx) Group(h GroupHint) *TaskGroup {
+	p := c.pool
+	g := &taskGroup{
+		pool:    p,
+		parent:  c,
+		workAll: h.Work,
+		size:    h.Size,
+	}
+
+	dom := c.cur.dom
+	rng := c.cur.rng
+	g.ent = c.entityFor(dom, rng)
+	g.fresh = false
+
+	if p.policy.isML() && !dom.flattened {
+		if nd, nrng, nent := p.mlDecide(c.w, c.cur, h.Size, g); nd != nil {
+			dom, rng, g.ent = nd, nrng, nent
+			g.fresh = true
+		}
+	}
+	g.dom = dom
+	g.adws = dom.adws
+	g.iExec = dom.logicalOf(g.ent.idx)
+
+	if g.adws {
+		g.splitter = sched.NewSplitter(rng, h.Work)
+		if rng.IsCrossWorker() {
+			parentNode := c.cur.group
+			if g.fresh || parentNode == nil {
+				g.node = sched.NewRootGroup(rng)
+			} else {
+				g.node = parentNode.NewChildGroup(rng)
+			}
+			g.childGroup = g.node
+			g.childDepth = g.node.Depth()
+		} else {
+			g.childGroup = c.cur.group
+			g.childDepth = c.cur.depth
+			if g.fresh {
+				g.childGroup, g.childDepth = nil, 0
+			}
+		}
+	}
+	return &TaskGroup{g: g}
+}
+
+// entityFor resolves the entity a task executes on behalf of.
+func (c *Ctx) entityFor(dom *domain, rng sched.Range) *entity {
+	if dom.adws {
+		return dom.entities[dom.physical(rng.Owner())]
+	}
+	// WS domains have no ranges; use the task's recorded entity, falling
+	// back to the worker's own slot in worker-level domains.
+	if c.cur.ent != nil && c.cur.ent.dom == dom {
+		return c.cur.ent
+	}
+	return dom.entities[c.w.id%len(dom.entities)]
+}
+
+// TaskGroup is the public handle of a live task group.
+type TaskGroup struct {
+	g *taskGroup
+}
+
+// Spawn adds a child task with the given work hint (w1..wN in Fig. 2b).
+func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
+	g := tg.g
+	g.spawned++
+	g.remaining.Add(1)
+	t := &task{fn: fn, pg: g, dom: g.dom}
+
+	if !g.adws {
+		// Conventional help-first WS: push to the spawning entity's deque;
+		// the owner pops LIFO, thieves steal the oldest.
+		t.ent = g.ent
+		g.ent.push(t, false)
+		g.pool.broadcast()
+		return
+	}
+
+	t.rng = g.splitter.NextChild(work)
+	t.group = g.childGroup
+	t.depth = g.childDepth
+	t.crossWorker = g.node != nil && t.rng.IsCrossWorker()
+	switch sched.Classify(t.rng, g.iExec) {
+	case sched.KindMigrate:
+		ent := g.dom.entities[g.dom.physical(t.rng.Owner())]
+		t.ent = ent
+		t.inMigration = true
+		ent.push(t, true)
+		g.parent.w.migrations.Add(1)
+		g.pool.broadcast()
+	case sched.KindExecute:
+		// The unique cross-worker child owned by the spawning entity: the
+		// paper executes it immediately in the work-first manner; with
+		// blocking waits we defer it to the head of Wait (DESIGN.md).
+		t.ent = g.ent
+		g.execChild = t
+	case sched.KindLocal:
+		t.ent = g.ent
+		t.inMigration = g.parent.cur.inMigration && !g.fresh
+		g.ent.push(t, t.inMigration)
+		g.pool.broadcast()
+	}
+}
+
+// Wait blocks until every spawned child (and its descendants) completed.
+// The calling worker executes pending tasks while it waits.
+func (tg *TaskGroup) Wait() {
+	g := tg.g
+	c := g.parent
+	w := c.w
+	p := g.pool
+
+	if ec := g.execChild; ec != nil {
+		g.execChild = nil
+		if ec.group != nil {
+			g.ent.lastGroup.Store(ec.group)
+		}
+		w.execute(ec)
+	}
+
+	spins := 0
+	var searchStart int64
+	for g.remaining.Load() > 0 {
+		if t := w.findTask(g.childDepth); t != nil {
+			if searchStart != 0 {
+				w.waitIdleNS.Add(now() - searchStart)
+				searchStart = 0
+			}
+			spins = 0
+			w.execute(t)
+			continue
+		}
+		if searchStart == 0 {
+			searchStart = now()
+		}
+		spins++
+		if spins < 8 {
+			gort.Gosched()
+			continue
+		}
+		seq := p.pushSeq.Load()
+		p.idleMu.Lock()
+		if p.pushSeq.Load() == seq && g.remaining.Load() > 0 {
+			waitWithTimeout(p.idleCond, &p.idleMu, 100*time.Microsecond)
+		}
+		p.idleMu.Unlock()
+	}
+	if searchStart != 0 {
+		w.waitIdleNS.Add(now() - searchStart)
+	}
+
+	if g.node != nil {
+		g.node.Finish()
+	}
+	if g.tiedTo != nil || g.flattened != nil {
+		p.groupTeardown(g, w)
+	}
+}

@@ -1,0 +1,386 @@
+// Package runtime is a user-level tasking runtime implementing the ADWS
+// paper's schedulers on real OS threads: conventional work stealing
+// (SL-WS), single-level almost deterministic work stealing (SL-ADWS), and
+// their multi-level variants (ML-WS, ML-ADWS) with cache-hierarchy
+// flattening.
+//
+// The Go runtime's goroutine scheduler cannot be directed, so this package
+// bypasses it: a fixed pool of workers (one goroutine per simulated core,
+// optionally pinned to OS threads) runs its own scheduler loop over
+// per-entity task queues, exactly as MassiveThreads underlies the paper's
+// implementation. Continuation handling differs by necessity: Go cannot
+// capture stack continuations, so task-group waits are blocking and the
+// waiting worker executes pending tasks (help-inside-wait); the paper's
+// observable ADWS invariants — left-to-right per-worker order, owner
+// executes cross-worker continuations, dominant-group steal ranges — are
+// preserved (see DESIGN.md).
+package runtime
+
+import (
+	"fmt"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/topology"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+const (
+	// WS is conventional random work stealing.
+	WS Policy = iota
+	// ADWS is single-level almost deterministic work stealing.
+	ADWS
+	// MLWS is multi-level scheduling with work stealing per level.
+	MLWS
+	// MLADWS is multi-level ADWS with cache-hierarchy flattening.
+	MLADWS
+)
+
+func (p Policy) String() string {
+	switch p {
+	case WS:
+		return "ws"
+	case ADWS:
+		return "adws"
+	case MLWS:
+		return "mlws"
+	case MLADWS:
+		return "mladws"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// isADWS reports whether deterministic task mapping is used at each level.
+func (p Policy) isADWS() bool { return p == ADWS || p == MLADWS }
+
+// isML reports whether multi-level scheduling is used.
+func (p Policy) isML() bool { return p == MLWS || p == MLADWS }
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Machine describes the cache hierarchy used for worker placement and
+	// multi-level scheduling. Defaults to a flat machine with one worker
+	// per available CPU.
+	Machine *topology.Machine
+	// Policy selects the scheduler (default WS).
+	Policy Policy
+	// Seed drives victim selection.
+	Seed uint64
+	// PinThreads locks each worker goroutine to an OS thread.
+	PinThreads bool
+}
+
+// Pool is a running worker pool.
+type Pool struct {
+	cfg     Config
+	machine *topology.Machine
+	policy  Policy
+
+	workers []*worker
+	rootDom *domain
+	domSeq  atomic.Int64
+
+	// ml guards the multi-level leadership and domain structures.
+	ml struct {
+		sync.Mutex
+		caches [][]*mlCache
+	}
+
+	// idleGate parks idle workers; pushes broadcast.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	pushSeq  atomic.Int64
+
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+
+	// rootDone signals completion of the current Run's root task.
+	runMu    sync.Mutex
+	rootDone chan struct{}
+	// pendingRoot hands a new root task to the root entity's acting worker
+	// (pushing from the Run goroutine would violate the lock-free deque's
+	// single-owner requirement).
+	pendingRoot atomic.Pointer[task]
+}
+
+// task is one schedulable unit.
+type task struct {
+	fn func(*Ctx)
+	// pg is the group this task belongs to (nil for the root task).
+	pg *taskGroup
+
+	dom         *domain
+	ent         *entity
+	rng         sched.Range
+	group       *sched.GroupNode
+	depth       int
+	inMigration bool
+	crossWorker bool
+}
+
+// taskGroup is a live task group created by Ctx.Group.
+type taskGroup struct {
+	pool   *Pool
+	parent *Ctx
+	// hints
+	workAll float64
+	size    int64
+	// node is the cross-worker group tree node (nil for non-cross groups
+	// or WS domains).
+	node *sched.GroupNode
+	// splitter divides the parent range incrementally across Spawn calls.
+	splitter *sched.Splitter
+	// dom is the domain children are spawned into.
+	dom *domain
+	// ent is the parent's entity in dom.
+	ent *entity
+	// iExec is the parent's logical entity index in dom.
+	iExec int
+	// childDepth and childGroup apply to spawned children.
+	childDepth int
+	childGroup *sched.GroupNode
+	// execChild is the deferred type-(2) child, run first in Wait.
+	execChild *task
+	// remaining counts unfinished children.
+	remaining atomic.Int32
+	// spawned counts Spawn calls (diagnostics).
+	spawned int
+	// tiedTo / flattened mirror the multi-level state.
+	tiedTo    *mlCache
+	flattened *domain
+	// fresh marks groups that opened a new domain.
+	fresh bool
+	adws  bool
+}
+
+// Ctx is the execution context a task body receives.
+type Ctx struct {
+	pool *Pool
+	w    *worker
+	cur  *task
+}
+
+// Worker returns the executing worker's ID.
+func (c *Ctx) Worker() int { return c.w.id }
+
+// Pool returns the owning pool.
+func (c *Ctx) Pool() *Pool { return c.pool }
+
+// NewPool starts the workers.
+func NewPool(cfg Config) *Pool {
+	if cfg.Machine == nil {
+		cfg.Machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
+	}
+	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy}
+	p.idleCond = sync.NewCond(&p.idleMu)
+	n := cfg.Machine.NumWorkers()
+	p.workers = make([]*worker, n)
+	for i := 0; i < n; i++ {
+		p.workers[i] = &worker{id: i, pool: p, rng: sched.NewRNG(cfg.Seed, i)}
+	}
+	p.initTopology()
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop(cfg.PinThreads)
+	}
+	return p
+}
+
+// NumWorkers returns the pool size.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// Policy returns the pool's scheduling policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// Close stops all workers. Outstanding Runs must have completed.
+func (p *Pool) Close() {
+	p.shutdown.Store(true)
+	p.broadcast()
+	p.wg.Wait()
+}
+
+// Run executes fn as the root task and blocks until it (and every task it
+// transitively spawned and waited for) completes. Only one Run may be
+// active at a time.
+func (p *Pool) Run(fn func(*Ctx)) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	done := make(chan struct{})
+	p.rootDone = done
+	root := &task{
+		fn: func(c *Ctx) {
+			fn(c)
+			close(done)
+		},
+		dom: p.rootDom,
+		ent: p.rootDom.entities[0],
+		rng: p.rootDom.fullRange(),
+	}
+	p.pendingRoot.Store(root)
+	p.broadcast()
+	<-done
+}
+
+// Stats aggregates per-worker counters.
+type Stats struct {
+	Tasks, Steals, StealAttempts, Migrations int64
+	// BusyNS and IdleNS are wall-clock nanoseconds summed over workers:
+	// time executing tasks and time searching for work (the paper's §6.1
+	// busy/idle profile; the nested execution of helping waits counts as
+	// busy for the innermost task only once).
+	BusyNS, IdleNS int64
+}
+
+// Stats returns scheduling counters accumulated since pool creation.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		s.Tasks += w.tasks.Load()
+		s.Steals += w.steals.Load()
+		s.StealAttempts += w.stealAttempts.Load()
+		s.Migrations += w.migrations.Load()
+		wi := w.waitIdleNS.Load()
+		s.BusyNS += w.busyNS.Load() - wi
+		s.IdleNS += w.idleNS.Load() + wi
+	}
+	return s
+}
+
+// broadcast wakes every parked worker.
+func (p *Pool) broadcast() {
+	p.pushSeq.Add(1)
+	p.idleMu.Lock()
+	p.idleCond.Broadcast()
+	p.idleMu.Unlock()
+}
+
+// worker is one scheduler loop.
+type worker struct {
+	id   int
+	pool *Pool
+	rng  *sched.RNG
+
+	// leads is the multi-level cache this worker currently leads.
+	leads *mlCache
+	// fdMu guards fdEnts (flattened-domain entities, newest last).
+	fdMu   sync.Mutex
+	fdEnts []*entity
+
+	tasks, steals, stealAttempts, migrations atomic.Int64
+	// busyNS and idleNS accumulate wall-clock task-execution and
+	// work-search time (the paper's busy/idle profile, §6.1).
+	// busyNS measures outermost task spans; waitIdleNS measures time spent
+	// searching/parking inside helping waits, which is subtracted from
+	// busy and added to idle when reporting.
+	busyNS, idleNS, waitIdleNS atomic.Int64
+	// execDepth tracks nested execution via helping waits (owner-only).
+	execDepth int
+	// idleSince marks the start of the current idle stretch (monotonic
+	// ns), or 0 when not idle. Only the owning worker writes it.
+	idleSince int64
+}
+
+// now returns a monotonic timestamp in nanoseconds.
+func now() int64 { return time.Now().UnixNano() }
+
+// markIdleStart begins an idle stretch if none is open.
+func (w *worker) markIdleStart() {
+	if w.idleSince == 0 {
+		w.idleSince = now()
+	}
+}
+
+// markIdleEnd closes an open idle stretch.
+func (w *worker) markIdleEnd() {
+	if w.idleSince != 0 {
+		w.idleNS.Add(now() - w.idleSince)
+		w.idleSince = 0
+	}
+}
+
+func (w *worker) loop(pin bool) {
+	defer w.pool.wg.Done()
+	if pin {
+		gort.LockOSThread()
+		defer gort.UnlockOSThread()
+	}
+	p := w.pool
+	idleSpins := 0
+	for !p.shutdown.Load() {
+		if t := w.findTask(0); t != nil {
+			idleSpins = 0
+			w.markIdleEnd()
+			w.execute(t)
+			continue
+		}
+		w.markIdleStart()
+		idleSpins++
+		if idleSpins < 8 {
+			gort.Gosched()
+			continue
+		}
+		// Park until a push or shutdown; re-check with a timeout so no
+		// wake-up race can strand us.
+		seq := p.pushSeq.Load()
+		p.idleMu.Lock()
+		if p.pushSeq.Load() == seq && !p.shutdown.Load() {
+			waitWithTimeout(p.idleCond, &p.idleMu, 200*time.Microsecond)
+		}
+		p.idleMu.Unlock()
+	}
+}
+
+// waitWithTimeout approximates a timed condition wait: a helper goroutine
+// broadcasts after the timeout. The caller must hold mu.
+func waitWithTimeout(cond *sync.Cond, mu *sync.Mutex, d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(d):
+			mu.Lock()
+			cond.Broadcast()
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+	cond.Wait()
+	close(done)
+}
+
+// execute runs one task to completion.
+func (w *worker) execute(t *task) {
+	w.tasks.Add(1)
+	w.execDepth++
+	var start int64
+	if w.execDepth == 1 {
+		start = now()
+	}
+	c := &Ctx{pool: w.pool, w: w, cur: t}
+	t.fn(c)
+	if w.execDepth == 1 {
+		w.busyNS.Add(now() - start)
+	}
+	w.execDepth--
+	w.pool.taskDone(t)
+}
+
+// taskDone propagates a task's completion to its group.
+func (p *Pool) taskDone(t *task) {
+	g := t.pg
+	if g == nil {
+		return
+	}
+	if t.crossWorker && g.node != nil {
+		g.node.CrossTaskCompleted()
+	}
+	g.remaining.Add(-1)
+	// The waiting parent spins in Wait; wake parked helpers too, since a
+	// completion can unblock whole subtrees.
+	p.broadcast()
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// GroupNode is one node in the tree of cross-worker task groups used for
+// dynamic load balancing (paper Fig. 10). Non-cross-worker task groups are
+// not recorded in the tree. Nodes are written by the entity executing the
+// group and read concurrently by thieves; the mutable fields are atomics so
+// the structure needs no locks.
+type GroupNode struct {
+	parent *GroupNode
+	rng    Range
+	// depth is the task depth of this group's child tasks: the number of
+	// enclosing cross-worker task groups (the root group has depth 0 in the
+	// paper; we number the root group's tasks depth 0 as well by creating
+	// the root node with depth 0).
+	depth int
+
+	// completedCross counts the group's child cross-worker tasks that have
+	// completed. The group is dominant once this is at least 1.
+	completedCross atomic.Int32
+	// finished marks the whole group as completed; finished nodes are
+	// skipped as dominant-group candidates.
+	finished atomic.Bool
+}
+
+// NewRootGroup creates the root of a cross-worker group tree covering the
+// given range, with task depth 0.
+func NewRootGroup(r Range) *GroupNode {
+	return &GroupNode{rng: r, depth: 0}
+}
+
+// NewChildGroup records a new cross-worker task group with range r created
+// by a task belonging to group g. The child group's tasks live one depth
+// level deeper than g's tasks.
+func (g *GroupNode) NewChildGroup(r Range) *GroupNode {
+	return &GroupNode{parent: g, rng: r, depth: g.depth + 1}
+}
+
+// Parent returns the enclosing cross-worker task group, or nil at the root.
+func (g *GroupNode) Parent() *GroupNode { return g.parent }
+
+// Range returns the group's distribution range.
+func (g *GroupNode) Range() Range { return g.rng }
+
+// Depth returns the task depth of this group's child tasks.
+func (g *GroupNode) Depth() int { return g.depth }
+
+// CrossTaskCompleted records the completion of one of g's child
+// cross-worker tasks, which may make g dominant.
+func (g *GroupNode) CrossTaskCompleted() { g.completedCross.Add(1) }
+
+// Finish marks the group as completed; it will no longer be considered a
+// dominant-group candidate.
+func (g *GroupNode) Finish() { g.finished.Store(true) }
+
+// Finished reports whether the group has completed.
+func (g *GroupNode) Finished() bool { return g.finished.Load() }
+
+// IsDominant reports whether g is a dominant task group: a cross-worker
+// task group at least one of whose child cross-worker tasks has completed,
+// and which has not itself finished.
+func (g *GroupNode) IsDominant() bool {
+	return !g.finished.Load() && g.completedCross.Load() > 0
+}
+
+func (g *GroupNode) String() string {
+	return fmt.Sprintf("group{%v d=%d dom=%v}", g.rng, g.depth, g.IsDominant())
+}
+
+// TopmostDominant walks from g up to the root and returns the topmost
+// (closest to the root) dominant group that dominates entity w, or nil if
+// no such group exists — in which case entity w must not steal (paper
+// Fig. 11 line 40). The walk costs at most the tree depth and happens only
+// on steal attempts, honouring the work-first principle.
+func TopmostDominant(g *GroupNode, w int) *GroupNode {
+	var top *GroupNode
+	for n := g; n != nil; n = n.parent {
+		if n.IsDominant() && n.rng.Dominates(w) {
+			top = n
+		}
+	}
+	return top
+}
+
+// StealRange describes where an idle entity is currently allowed to steal
+// from: the victims, the minimum task depth, and the two boundary entities
+// with restricted queues (paper §3.2).
+type StealRange struct {
+	// Low and High are floor(x) and floor(y) of the topmost dominant
+	// group's range; victims are chosen from [Low, High] inclusive.
+	Low, High int
+	// MinDepth is the depth of the topmost dominant group: only queues at
+	// depth >= MinDepth may be stolen from, so tasks from enclosing groups
+	// are never taken.
+	MinDepth int
+	// group is the dominant group this range was derived from.
+	group *GroupNode
+}
+
+// CurrentStealRange computes entity w's steal range from its current group
+// g. ok is false when w is not dominated by any group and must not steal.
+func CurrentStealRange(g *GroupNode, w int) (StealRange, bool) {
+	top := TopmostDominant(g, w)
+	if top == nil {
+		return StealRange{}, false
+	}
+	r := top.rng
+	return StealRange{
+		Low:      r.Owner(),
+		High:     r.Last(),
+		MinDepth: top.depth,
+		group:    top,
+	}, true
+}
+
+// Group returns the dominant group the steal range was derived from.
+func (s StealRange) Group() *GroupNode { return s.group }
+
+// NumVictims returns the number of candidate victims other than w itself.
+func (s StealRange) NumVictims(w int) int {
+	n := s.High - s.Low + 1
+	if w >= s.Low && w <= s.High {
+		n--
+	}
+	return n
+}
+
+// Victim returns the k-th candidate victim for entity w, skipping w itself.
+// k must be in [0, NumVictims(w)).
+func (s StealRange) Victim(w, k int) int {
+	v := s.Low + k
+	if w >= s.Low && v >= w {
+		v++
+	}
+	return v
+}
+
+// MigrationStealable reports whether victim v's migration queues may be
+// stolen from: tasks must not be stolen from the migration queues of entity
+// Low, because those hold tasks migrated from outside the steal range.
+func (s StealRange) MigrationStealable(v int) bool { return v != s.Low }
+
+// PrimaryStealable reports whether victim v's primary queues may be stolen
+// from: tasks must not be stolen from the primary queues of entity High,
+// because those tasks are outside the range [x, y).
+func (s StealRange) PrimaryStealable(v int) bool { return v != s.High }

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupTreeDominance(t *testing.T) {
+	root := NewRootGroup(Range{X: 0, Y: 4})
+	if root.IsDominant() {
+		t.Error("fresh group should not be dominant")
+	}
+	root.CrossTaskCompleted()
+	if !root.IsDominant() {
+		t.Error("group with a completed cross task should be dominant")
+	}
+	root.Finish()
+	if root.IsDominant() {
+		t.Error("finished group should not be dominant")
+	}
+	if !root.Finished() {
+		t.Error("Finished() should report true")
+	}
+}
+
+func TestGroupDepths(t *testing.T) {
+	root := NewRootGroup(Range{X: 0, Y: 8})
+	if root.Depth() != 0 {
+		t.Fatalf("root depth = %d, want 0", root.Depth())
+	}
+	c1 := root.NewChildGroup(Range{X: 0, Y: 4})
+	c2 := c1.NewChildGroup(Range{X: 0, Y: 2})
+	if c1.Depth() != 1 || c2.Depth() != 2 {
+		t.Errorf("depths = %d,%d, want 1,2", c1.Depth(), c2.Depth())
+	}
+	if c2.Parent() != c1 || c1.Parent() != root || root.Parent() != nil {
+		t.Error("parent links wrong")
+	}
+	if c1.Range() != (Range{X: 0, Y: 4}) {
+		t.Errorf("Range = %v", c1.Range())
+	}
+}
+
+func TestTopmostDominant(t *testing.T) {
+	// Tree mirroring Fig. 10: root [0,4), child [0, 2.x), grandchild per
+	// worker.
+	root := NewRootGroup(Range{X: 0, Y: 4})
+	left := root.NewChildGroup(Range{X: 0, Y: 2.5})
+	leaf1 := left.NewChildGroup(Range{X: 1, Y: 2.5})
+
+	// Early stage: only leaf1 dominant (worker 1's own group, Fig. 10a).
+	leaf1.CrossTaskCompleted()
+	if got := TopmostDominant(leaf1, 1); got != leaf1 {
+		t.Errorf("TopmostDominant = %v, want leaf1", got)
+	}
+	// Worker 2 is not dominated by leaf1 ([1,2.5) dominates 1 only:
+	// floor(2.5)=2 is excluded).
+	if got := TopmostDominant(leaf1, 2); got != nil {
+		t.Errorf("worker 2 should not be dominated, got %v", got)
+	}
+
+	// Ancestor becomes dominant (Fig. 10b): worker 1's steal range widens
+	// to the ancestor's.
+	left.CrossTaskCompleted()
+	if got := TopmostDominant(leaf1, 1); got != left {
+		t.Errorf("TopmostDominant = %v, want left ancestor", got)
+	}
+
+	// Root dominant (Fig. 10c): equivalent to conventional work stealing
+	// over all workers.
+	root.CrossTaskCompleted()
+	if got := TopmostDominant(leaf1, 1); got != root {
+		t.Errorf("TopmostDominant = %v, want root", got)
+	}
+
+	// Finished groups are skipped.
+	root.Finish()
+	if got := TopmostDominant(leaf1, 1); got != left {
+		t.Errorf("after root finish, TopmostDominant = %v, want left", got)
+	}
+}
+
+func TestCurrentStealRange(t *testing.T) {
+	root := NewRootGroup(Range{X: 0, Y: 4})
+	g := root.NewChildGroup(Range{X: 1.25, Y: 3.75})
+
+	// No dominant group anywhere: no stealing.
+	if _, ok := CurrentStealRange(g, 2); ok {
+		t.Error("expected no steal range before any cross task completes")
+	}
+
+	g.CrossTaskCompleted()
+	sr, ok := CurrentStealRange(g, 2)
+	if !ok {
+		t.Fatal("expected a steal range")
+	}
+	if sr.Low != 1 || sr.High != 3 {
+		t.Errorf("steal range = [%d,%d], want [1,3]", sr.Low, sr.High)
+	}
+	if sr.MinDepth != 1 {
+		t.Errorf("MinDepth = %d, want 1", sr.MinDepth)
+	}
+	if sr.Group() != g {
+		t.Error("Group() should return the dominant group")
+	}
+
+	// Boundary-entity queue restrictions (§3.2): no stealing from the
+	// migration queues of Low or the primary queues of High.
+	if sr.MigrationStealable(1) {
+		t.Error("migration queues of floor(x) must not be stolen from")
+	}
+	if !sr.MigrationStealable(2) || !sr.MigrationStealable(3) {
+		t.Error("migration queues of interior workers should be stealable")
+	}
+	if sr.PrimaryStealable(3) {
+		t.Error("primary queues of floor(y) must not be stolen from")
+	}
+	if !sr.PrimaryStealable(1) || !sr.PrimaryStealable(2) {
+		t.Error("primary queues of interior workers should be stealable")
+	}
+}
+
+func TestStealRangeVictims(t *testing.T) {
+	sr := StealRange{Low: 1, High: 4}
+	// Worker 2 chooses among {1, 3, 4}.
+	if n := sr.NumVictims(2); n != 3 {
+		t.Fatalf("NumVictims = %d, want 3", n)
+	}
+	got := map[int]bool{}
+	for k := 0; k < 3; k++ {
+		got[sr.Victim(2, k)] = true
+	}
+	for _, v := range []int{1, 3, 4} {
+		if !got[v] {
+			t.Errorf("victim %d never produced; got %v", v, got)
+		}
+	}
+	if got[2] {
+		t.Error("worker chose itself as victim")
+	}
+	// A worker outside the range chooses among all of it.
+	if n := sr.NumVictims(7); n != 4 {
+		t.Errorf("outside worker NumVictims = %d, want 4", n)
+	}
+	if v := sr.Victim(7, 0); v != 1 {
+		t.Errorf("outside worker first victim = %d, want 1", v)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	g := NewRootGroup(Range{X: 0, Y: 2})
+	if !strings.Contains(g.String(), "d=0") {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 3)
+	b := NewRNG(42, 3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(42, 4)
+	same := 0
+	a = NewRNG(42, 3)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-entity RNGs coincided %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) only produced %d distinct values", len(seen))
+	}
+	f := r.Float64()
+	if f < 0 || f >= 1 {
+		t.Errorf("Float64 = %v out of [0,1)", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}

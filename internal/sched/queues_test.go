@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeEnds(t *testing.T) {
+	var d Deque[int]
+	if _, ok := d.PopTop(); ok {
+		t.Error("PopTop on empty deque succeeded")
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Error("PopBottom on empty deque succeeded")
+	}
+	if _, ok := d.PeekBottom(); ok {
+		t.Error("PeekBottom on empty deque succeeded")
+	}
+	d.PushTop(1)
+	d.PushTop(2)
+	d.PushTop(3)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if v, _ := d.PeekBottom(); v != 1 {
+		t.Errorf("PeekBottom = %d, want 1", v)
+	}
+	if v, _ := d.PopTop(); v != 3 {
+		t.Errorf("PopTop = %d, want 3 (LIFO)", v)
+	}
+	if v, _ := d.PopBottom(); v != 1 {
+		t.Errorf("PopBottom = %d, want 1 (oldest)", v)
+	}
+	d.PushBottom(0)
+	if v, _ := d.PopBottom(); v != 0 {
+		t.Errorf("PopBottom after PushBottom = %d, want 0", v)
+	}
+	if v, _ := d.PopTop(); v != 2 {
+		t.Errorf("final PopTop = %d, want 2", v)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestQueueSetLocalOrder(t *testing.T) {
+	// Local pops drain primary queues deepest-depth-first, LIFO within a
+	// depth, then migration queues shallowest-first, FIFO within a depth
+	// (Fig. 11 lines 33–38, yielding Fig. 8's left-to-right order).
+	var q QueueSet[string]
+	q.PushPrimary(0, "p0a")
+	q.PushPrimary(0, "p0b")
+	q.PushPrimary(2, "p2a")
+	q.PushMigration(0, "m0a")
+	q.PushMigration(0, "m0b")
+	q.PushMigration(1, "m1a")
+
+	want := []string{"p2a", "p0b", "p0a", "m0a", "m0b", "m1a"}
+	for i, w := range want {
+		v, ok := q.PopLocal()
+		if !ok {
+			t.Fatalf("PopLocal #%d failed", i)
+		}
+		if v != w {
+			t.Errorf("PopLocal #%d = %q, want %q", i, v, w)
+		}
+	}
+	if _, ok := q.PopLocal(); ok {
+		t.Error("PopLocal on empty set succeeded")
+	}
+}
+
+func TestQueueSetStealOrder(t *testing.T) {
+	// Thieves prefer migration queues deepest-first, taking the most
+	// recently migrated task, then primary queues shallowest-first, taking
+	// the oldest task (Fig. 11 lines 44–50).
+	var q QueueSet[string]
+	q.PushPrimary(0, "p0a")
+	q.PushPrimary(0, "p0b")
+	q.PushPrimary(2, "p2a")
+	q.PushMigration(0, "m0a")
+	q.PushMigration(1, "m1a")
+	q.PushMigration(1, "m1b")
+
+	steals := []string{"m1b", "m1a", "m0a", "p0a", "p0b", "p2a"}
+	for i, w := range steals {
+		var v string
+		var ok bool
+		if v, ok = q.StealMigration(0); !ok {
+			v, ok = q.StealPrimary(0)
+		}
+		if !ok {
+			t.Fatalf("steal #%d failed", i)
+		}
+		if v != w {
+			t.Errorf("steal #%d = %q, want %q", i, v, w)
+		}
+	}
+}
+
+func TestQueueSetDepthRestriction(t *testing.T) {
+	var q QueueSet[int]
+	q.PushPrimary(0, 100)
+	q.PushMigration(0, 200)
+	q.PushPrimary(2, 102)
+	q.PushMigration(2, 202)
+
+	// minDepth 1: only depth-2 tasks are stealable.
+	if v, ok := q.StealMigration(1); !ok || v != 202 {
+		t.Errorf("StealMigration(1) = %d,%v, want 202", v, ok)
+	}
+	if v, ok := q.StealPrimary(1); !ok || v != 102 {
+		t.Errorf("StealPrimary(1) = %d,%v, want 102", v, ok)
+	}
+	if _, ok := q.StealMigration(1); ok {
+		t.Error("depth-0 migration task stolen despite minDepth 1")
+	}
+	if _, ok := q.StealPrimary(1); ok {
+		t.Error("depth-0 primary task stolen despite minDepth 1")
+	}
+	// Depth-0 tasks remain available locally.
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	if v, _ := q.PopLocal(); v != 100 {
+		t.Errorf("PopLocal = %d, want 100", v)
+	}
+	if v, _ := q.PopLocal(); v != 200 {
+		t.Errorf("PopLocal = %d, want 200", v)
+	}
+}
+
+func TestQueueSetStealAny(t *testing.T) {
+	var q QueueSet[int]
+	if _, ok := q.StealAny(); ok {
+		t.Error("StealAny on empty set succeeded")
+	}
+	q.PushMigration(1, 7)
+	q.PushPrimary(0, 5)
+	q.PushPrimary(0, 6)
+	// StealAny prefers the oldest primary task.
+	if v, _ := q.StealAny(); v != 5 {
+		t.Errorf("StealAny = %d, want 5", v)
+	}
+	if v, _ := q.StealAny(); v != 6 {
+		t.Errorf("StealAny = %d, want 6", v)
+	}
+	if v, _ := q.StealAny(); v != 7 {
+		t.Errorf("StealAny = %d, want 7 (migration fallback)", v)
+	}
+}
+
+func TestQueueSetCounters(t *testing.T) {
+	var q QueueSet[int]
+	q.PushPrimary(3, 1)
+	q.PushMigration(5, 2)
+	if q.PrimaryLen() != 1 || q.MigrationLen() != 1 || q.Len() != 2 {
+		t.Errorf("counters = %d/%d/%d", q.PrimaryLen(), q.MigrationLen(), q.Len())
+	}
+	q.PopLocal()
+	q.PopLocal()
+	if q.Len() != 0 {
+		t.Errorf("Len after draining = %d", q.Len())
+	}
+}
+
+// Property: every pushed task is popped exactly once, regardless of the
+// interleaving of local pops and steals.
+func TestQueueSetConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q QueueSet[int]
+		pushed := 0
+		popped := map[int]bool{}
+		next := 0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				q.PushPrimary(int(op%3), next)
+				next++
+				pushed++
+			case 1:
+				q.PushMigration(int(op%4), next)
+				next++
+				pushed++
+			case 2:
+				if v, ok := q.PopLocal(); ok {
+					if popped[v] {
+						return false
+					}
+					popped[v] = true
+				}
+			case 3:
+				if v, ok := q.StealMigration(int(op % 2)); ok {
+					if popped[v] {
+						return false
+					}
+					popped[v] = true
+				}
+			case 4:
+				if v, ok := q.StealPrimary(int(op % 2)); ok {
+					if popped[v] {
+						return false
+					}
+					popped[v] = true
+				}
+			}
+		}
+		// Drain the rest.
+		for {
+			v, ok := q.PopLocal()
+			if !ok {
+				break
+			}
+			if popped[v] {
+				return false
+			}
+			popped[v] = true
+		}
+		return len(popped) == pushed && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package sim is a deterministic discrete-event simulator for nested
+// parallel computations on a machine with a tree of caches. It executes
+// task graphs under the five schedulers the ADWS paper evaluates (SL-WS,
+// SL-ADWS, ML-WS, ML-ADWS, and a space-bounded scheduler) in virtual time,
+// with a chunk-granular LRU cache model that produces per-level miss
+// counts, a NUMA memory model with interleave/first-touch policies, and
+// per-worker busy/idle/overhead accounting matching the paper's profiling
+// (§6.1).
+//
+// The simulator exists because the paper's evaluation requires a 56-core
+// two-socket machine and hardware performance counters; it reproduces the
+// shape of the paper's results (who wins where, and why) rather than
+// absolute numbers.
+package sim
+
+// CostModel holds the virtual-time costs of the simulated machine, in
+// abstract nanosecond-like units. Memory costs are charged per chunk (see
+// Memory) moved or touched; scheduling costs per operation.
+type CostModel struct {
+	// PrivateHitPerChunk is the cost of reading one chunk that hits in the
+	// worker's private cache.
+	PrivateHitPerChunk float64
+	// SharedHitPerChunk is the cost when the chunk misses private cache
+	// but hits a shared cache on the path to memory.
+	SharedHitPerChunk float64
+	// MemPerChunk is the cost of fetching a chunk from local main memory.
+	MemPerChunk float64
+	// RemotePerChunk is the cost of fetching a chunk from a remote NUMA
+	// node's memory.
+	RemotePerChunk float64
+
+	// SpawnOverhead is charged to a worker for creating one child task.
+	SpawnOverhead float64
+	// MigrateOverhead is charged for passing a task to another entity's
+	// migration queue (ADWS deterministic task mapping).
+	MigrateOverhead float64
+	// StealAttempt is the cost of one failed steal attempt (including the
+	// dominant-group tree walk); it is accounted as idle time.
+	StealAttempt float64
+	// StealSuccess is the extra cost of a successful steal, accounted as
+	// overhead.
+	StealSuccess float64
+	// IdlePoll is how long an idle worker waits before re-polling when it
+	// found no victim at all.
+	IdlePoll float64
+	// ResumeOverhead is charged when a suspended task is resumed.
+	ResumeOverhead float64
+	// TieOverhead is charged when a task group is tied to a cache or a
+	// hierarchy is flattened (multi-level scheduling bookkeeping).
+	TieOverhead float64
+}
+
+// DefaultCosts returns the calibrated default cost model. The ratios
+// between the memory levels (1 : 2 : 6 : 9) approximate the Cascade Lake
+// machine of the paper (L2 : L3 : local DRAM : remote DRAM bandwidth-bound
+// chunk transfer costs).
+func DefaultCosts() CostModel {
+	return CostModel{
+		PrivateHitPerChunk: 1000,
+		SharedHitPerChunk:  2000,
+		MemPerChunk:        6000,
+		RemotePerChunk:     9000,
+		SpawnOverhead:      80,
+		MigrateOverhead:    150,
+		StealAttempt:       250,
+		StealSuccess:       600,
+		IdlePoll:           500,
+		ResumeOverhead:     120,
+		TieOverhead:        100,
+	}
+}

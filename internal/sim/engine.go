@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/topology"
+)
+
+// Mode selects the scheduler under simulation.
+type Mode int
+
+const (
+	// SLWS is conventional single-level random work stealing (the paper's
+	// SL-WS baseline; Cilk Plus behaves the same, §6.3).
+	SLWS Mode = iota
+	// SLADWS is single-level almost deterministic work stealing (§3).
+	SLADWS
+	// MLWS is multi-level scheduling with random work stealing at every
+	// cache level (§4).
+	MLWS
+	// MLADWS is multi-level ADWS with cache-hierarchy flattening (§5).
+	MLADWS
+	// SB is the space-bounded scheduler baseline (Simhadri et al.),
+	// with σ=0.5 and μ=0.2 (§6.1).
+	SB
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SLWS:
+		return "SL-WS"
+	case SLADWS:
+		return "SL-ADWS"
+	case MLWS:
+		return "ML-WS"
+	case MLADWS:
+		return "ML-ADWS"
+	case SB:
+		return "SB"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all simulated schedulers in the paper's presentation order.
+var Modes = []Mode{SLWS, SLADWS, MLWS, MLADWS, SB}
+
+// IsADWS reports whether the mode uses ADWS deterministic task mapping.
+func (m Mode) IsADWS() bool { return m == SLADWS || m == MLADWS }
+
+// IsMultiLevel reports whether the mode uses multi-level scheduling.
+func (m Mode) IsMultiLevel() bool { return m == MLWS || m == MLADWS }
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Machine *topology.Machine
+	Mode    Mode
+	Costs   CostModel
+	// Seed drives victim selection (and nothing else).
+	Seed uint64
+	// NUMA selects the page placement policy (default Interleave).
+	NUMA NUMAPolicy
+	// MaxStealTries bounds the victims tried per wake-up (default 4).
+	MaxStealTries int
+	// IgnoreWorkHints makes ADWS assume equal work for every child (the
+	// no-work-hints configuration of §6.4). Size hints are still honoured.
+	IgnoreWorkHints bool
+	// SBSigma and SBMu override the space-bounded scheduler parameters
+	// (defaults 0.5 and 0.2).
+	SBSigma, SBMu float64
+	// TraceExec, if set, is called when a task starts executing, with the
+	// task's per-run creation ordinal and the executing worker. Used to
+	// verify scheduling determinism across repetitions.
+	TraceExec func(taskOrdinal int64, worker int)
+}
+
+type event struct {
+	t float64
+	// gseq is a global sequence number for deterministic tie-breaking.
+	gseq int64
+	// wseq is the owning worker's eventSeq at scheduling time; a mismatch
+	// at pop time means the event was superseded.
+	wseq int64
+	w    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].gseq < h[j].gseq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+type worker struct {
+	id  int
+	rng *sched.RNG
+
+	current *Task
+	resume  []*Task // LIFO resume stack (returned continuations)
+
+	// Event bookkeeping: each worker has at most one live event; eventSeq
+	// invalidates superseded ones.
+	eventSeq  int64
+	eventTime float64
+	hasEvent  bool
+
+	idle      bool
+	idleStart float64
+	backoff   float64
+
+	// Profiling accumulators (virtual time).
+	busyTime, idleTime, overheadTime float64
+	steals, stealAttempts            int64
+	migrationsOut                    int64
+	tasksRun                         int64
+
+	// Multi-level state.
+	leads *mlCache
+	// fdEnts are the worker's entities in flattened domains, newest last.
+	fdEnts []*entity
+
+	// Space-bounded state.
+	sbQueue sched.QueueSet[*Task]
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg     Config
+	machine *topology.Machine
+	costs   CostModel
+	mem     *Memory
+	hier    *Hierarchy
+
+	workers []*worker
+	events  eventHeap
+	evSeq   int64
+	now     float64
+
+	// mlCaches[level][index] mirrors the machine's cache tree.
+	mlCaches [][]*mlCache
+	rootDom  *domain
+	domSeq   int
+	taskSeq  int64
+
+	sb *sbState
+	// sbParks counts capacity waits (diagnostics).
+	sbParks int64
+
+	rootTask    *Task
+	done        bool
+	finalTime   float64
+	runStartSeq int64
+
+	// domainDormant counts, per domain id, how many acting workers are
+	// idle, to skip wake scans.
+	ties, flattens int64
+}
+
+// NewEngine prepares a simulation. The same engine can Run multiple root
+// bodies in sequence (repetitions share cache state, as the paper's
+// repeated measurements within one program execution do).
+func NewEngine(cfg Config) *Engine {
+	if cfg.Machine == nil {
+		panic("sim: Config.Machine is required")
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.MaxStealTries <= 0 {
+		cfg.MaxStealTries = 4
+	}
+	if cfg.SBSigma <= 0 {
+		cfg.SBSigma = 0.5
+	}
+	if cfg.SBMu <= 0 {
+		cfg.SBMu = 0.2
+	}
+	e := &Engine{
+		cfg:     cfg,
+		machine: cfg.Machine,
+		costs:   cfg.Costs,
+	}
+	e.mem = NewMemory(cfg.Machine.NumNUMANodes(), cfg.NUMA)
+	e.hier = NewHierarchy(cfg.Machine, e.mem, &e.costs)
+	p := cfg.Machine.NumWorkers()
+	e.workers = make([]*worker, p)
+	for i := 0; i < p; i++ {
+		e.workers[i] = &worker{id: i, rng: sched.NewRNG(cfg.Seed, i)}
+	}
+	e.buildMLCaches()
+	if cfg.Mode == SB {
+		e.initSB()
+	}
+	e.initDomains()
+	return e
+}
+
+// Memory returns the engine's virtual heap, for workload allocation.
+func (e *Engine) Memory() *Memory { return e.mem }
+
+// Hierarchy exposes the simulated caches (tests and profiling).
+func (e *Engine) Hierarchy() *Hierarchy { return e.hier }
+
+func (e *Engine) buildMLCaches() {
+	e.mlCaches = make([][]*mlCache, e.machine.NumLevels())
+	for level := 1; level < e.machine.NumLevels(); level++ {
+		row := e.machine.LevelCaches(level)
+		e.mlCaches[level] = make([]*mlCache, len(row))
+		for i, c := range row {
+			e.mlCaches[level][i] = &mlCache{cache: c, leader: -1}
+		}
+	}
+}
+
+// initDomains sets up the root scheduling domain and, for multi-level
+// modes, the initial bottom-up leader election (§4.2).
+func (e *Engine) initDomains() {
+	adws := e.cfg.Mode.IsADWS()
+	switch {
+	case e.cfg.Mode == SB:
+		// SB uses per-worker deques and per-cache anchors, no domains.
+	case e.cfg.Mode.IsMultiLevel():
+		// Leaders: every worker leads its leaf, then first-child leaders
+		// are promoted level by level.
+		maxLevel := e.machine.MaxLevel()
+		for w := 0; w < e.machine.NumWorkers(); w++ {
+			leaf := e.mlCaches[maxLevel][w]
+			leaf.leader = w
+			e.workers[w].leads = leaf
+		}
+		for level := maxLevel - 1; level >= 1; level-- {
+			for i, c := range e.machine.LevelCaches(level) {
+				// Promote the leader of the first child.
+				first := c.Children()[0]
+				child := e.mlCaches[first.Level][first.Index]
+				w := child.leader
+				child.leader = -1
+				e.mlCaches[level][i].leader = w
+				e.workers[w].leads = e.mlCaches[level][i]
+			}
+		}
+		// Root domain over the level-1 caches.
+		d := e.newDomain(adws, 0)
+		row := e.mlCaches[1]
+		for i, mc := range row {
+			ent := &entity{dom: d, idx: i, cache: mc, worker: -1}
+			d.entities = append(d.entities, ent)
+			mc.entity = ent
+		}
+		d.level = 1
+		e.rootDom = d
+	default:
+		// Single-level: one worker-level domain over all workers.
+		d := e.newDomain(adws, 0)
+		for w := 0; w < e.machine.NumWorkers(); w++ {
+			d.entities = append(d.entities, &entity{dom: d, idx: w, worker: w})
+		}
+		d.level = e.machine.MaxLevel()
+		e.rootDom = d
+	}
+}
+
+func (e *Engine) newDomain(adws bool, offset int) *domain {
+	e.domSeq++
+	return &domain{id: e.domSeq, adws: adws, offset: offset}
+}
+
+func (e *Engine) newTask(body Body, work float64) *Task {
+	e.taskSeq++
+	return &Task{id: e.taskSeq, body: body, workHint: work, execWorker: -1}
+}
+
+// schedule (re)schedules worker w's next event at time t, superseding any
+// previously scheduled event.
+func (e *Engine) schedule(w *worker, t float64) {
+	w.eventSeq++
+	w.eventTime = t
+	w.hasEvent = true
+	e.evSeq++
+	heap.Push(&e.events, event{t: t, gseq: e.evSeq, wseq: w.eventSeq, w: w.id})
+}
+
+// wake brings an idle worker's pending poll forward to time t.
+func (e *Engine) wake(w *worker, t float64) {
+	if e.done || w.current != nil {
+		return
+	}
+	if w.hasEvent && w.eventTime <= t {
+		return
+	}
+	e.schedule(w, t)
+}
+
+// Run executes one root body to completion and returns the result. Cache
+// contents persist across calls; counters are reset per call.
+func (e *Engine) Run(root Body) RunResult {
+	e.resetProfile()
+	start := e.now
+	e.done = false
+	e.rootTask = e.newTask(root, 1)
+	// Seed the root task on entity 0 of the root domain (SB: worker 0).
+	if e.cfg.Mode == SB {
+		e.seedSBRoot(e.rootTask)
+	} else {
+		ent := e.rootDom.entities[0]
+		e.rootTask.dom = e.rootDom
+		e.rootTask.rng = e.rootDom.fullRange()
+		ent.queues.PushPrimary(0, e.rootTask)
+		aw := ent.actingWorker()
+		if aw < 0 {
+			panic("sim: root entity has no acting worker")
+		}
+		e.wake(e.workers[aw], e.now)
+	}
+
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		w := e.workers[ev.w]
+		if !w.hasEvent || ev.wseq != w.eventSeq {
+			continue // superseded
+		}
+		w.hasEvent = false
+		e.now = ev.t
+		if e.done {
+			continue
+		}
+		if w.current != nil {
+			e.step(w)
+		} else {
+			e.findWork(w)
+		}
+	}
+	if !e.done {
+		panic("sim: event queue drained before root task completed (deadlock)")
+	}
+	return e.collect(start)
+}
+
+func (e *Engine) resetProfile() {
+	e.runStartSeq = e.taskSeq
+	for _, w := range e.workers {
+		w.busyTime, w.idleTime, w.overheadTime = 0, 0, 0
+		w.steals, w.stealAttempts, w.migrationsOut, w.tasksRun = 0, 0, 0, 0
+		w.idle = false
+		w.backoff = 0
+	}
+	e.hier.ResetCounters()
+	e.ties, e.flattens = 0, 0
+}
+
+// step executes one step of w's current task.
+func (e *Engine) step(w *worker) {
+	t := w.current
+	if !t.built {
+		if e.cfg.TraceExec != nil {
+			e.cfg.TraceExec(t.id-e.runStartSeq, w.id)
+		}
+		b := &B{}
+		if t.body != nil {
+			t.body(b)
+		}
+		t.steps = b.steps
+		t.built = true
+	}
+	if t.next >= len(t.steps) {
+		e.complete(w, t)
+		return
+	}
+	st := t.steps[t.next]
+	t.next++
+	switch {
+	case st.compute != nil:
+		cost := st.compute.work + e.hier.AccessRange(w.id, st.compute.accesses)
+		w.busyTime += cost
+		e.schedule(w, e.now+cost)
+	case st.group != nil:
+		e.fork(w, t, st.group)
+	default:
+		e.schedule(w, e.now)
+	}
+}
+
+// complete finishes task t on worker w and propagates group completion.
+func (e *Engine) complete(w *worker, t *Task) {
+	t.state = taskDone
+	w.current = nil
+	w.tasksRun++
+	ag := t.parentGroup
+	if ag == nil {
+		// Root task of the run.
+		e.done = true
+		e.finalTime = e.now
+		return
+	}
+	if t.crossWorker && ag.node != nil {
+		ag.node.CrossTaskCompleted()
+	}
+	if len(t.sbRes) > 0 {
+		e.sbRelease(t)
+	}
+	ag.remaining--
+	if ag.remaining == 0 {
+		e.groupComplete(ag)
+	}
+	e.schedule(w, e.now)
+}
+
+// groupComplete handles the completion of all children of a task group:
+// multi-level unties, domain teardown, and resumption of the parent task's
+// continuation on its owner.
+func (e *Engine) groupComplete(ag *activeGroup) {
+	if ag.node != nil {
+		ag.node.Finish()
+	}
+	if ag.tiedTo != nil {
+		e.untie(ag)
+	}
+	if ag.flattened != nil {
+		e.unflatten(ag)
+	}
+	p := ag.parent
+	p.state = taskReady
+	p.waitingOn = nil
+	ow := e.workers[p.execWorker]
+	ow.resume = append(ow.resume, p)
+	e.wake(ow, e.now)
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"github.com/parlab/adws/internal/sched"
+)
+
+// maxBackoffPolls bounds the exponential idle backoff to IdlePoll << 6.
+const maxBackoffFactor = 8
+
+// findWork is the scheduler loop body of an idle worker (paper Fig. 11,
+// GETRUNNABLETASK): resume returned continuations first, then pop local
+// queues, then steal within the current steal range.
+func (e *Engine) findWork(w *worker) {
+	if e.done {
+		return
+	}
+	// 1. Returned continuations have the highest priority (§3.1).
+	if n := len(w.resume); n > 0 {
+		t := w.resume[n-1]
+		w.resume = w.resume[:n-1]
+		e.startTask(w, t, t.ent, 0, e.costs.ResumeOverhead)
+		return
+	}
+	if e.cfg.Mode == SB {
+		e.findWorkSB(w)
+		return
+	}
+
+	cands := e.candidates(w)
+	// 2. Local queues.
+	for _, ent := range cands {
+		if t, ok := ent.queues.PopLocal(); ok {
+			e.startTask(w, t, ent, 0, 0)
+			return
+		}
+	}
+	// 3. Steal within each candidate domain.
+	var searched float64
+	for _, ent := range cands {
+		if t, ok := e.trySteal(w, ent, &searched); ok {
+			e.startTask(w, t, ent, searched, e.costs.StealSuccess)
+			return
+		}
+	}
+	e.goIdle(w, searched)
+}
+
+// candidates returns the entities worker w may act for, in priority order:
+// flattened-domain entities (newest first), then the entity of the cache
+// the worker currently leads.
+func (e *Engine) candidates(w *worker) []*entity {
+	if !e.cfg.Mode.IsMultiLevel() {
+		return []*entity{e.rootDom.entities[w.id]}
+	}
+	var out []*entity
+	// Prune closed flattened domains in place.
+	live := w.fdEnts[:0]
+	for _, ent := range w.fdEnts {
+		if !ent.dom.closed {
+			live = append(live, ent)
+		}
+	}
+	w.fdEnts = live
+	for i := len(live) - 1; i >= 0; i-- {
+		out = append(out, live[i])
+	}
+	// A leader participating in a live flattened domain must not start
+	// another task at its cache level: each cache executes one flattened
+	// group ("level-l leaf") at a time (§4.2's one-tied-group invariant,
+	// carried over to flattening).
+	if len(live) == 0 && w.leads != nil && w.leads.entity != nil && !w.leads.entity.dom.closed &&
+		w.leads.entity.actingWorker() == w.id {
+		out = append(out, w.leads.entity)
+	}
+	return out
+}
+
+// trySteal attempts up to MaxStealTries random steals for entity ent,
+// accumulating the time spent in *searched. ADWS domains use the dominant
+// task group's steal range with depth and boundary-queue restrictions;
+// WS domains steal uniformly at random.
+func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, bool) {
+	d := ent.dom
+	n := len(d.entities)
+	if n <= 1 {
+		return nil, false
+	}
+	if d.adws {
+		anchor := ent.lastGroup
+		if anchor == nil {
+			// Not dominated by any task group: do not steal (Fig. 11 line
+			// 40), so deterministically migrated tasks are not stolen too
+			// soon.
+			return nil, false
+		}
+		self := d.logicalOf(ent.idx)
+		sr, ok := sched.CurrentStealRange(anchor, self)
+		if !ok {
+			return nil, false
+		}
+		nv := sr.NumVictims(self)
+		if nv <= 0 {
+			return nil, false
+		}
+		tries := e.cfg.MaxStealTries
+		if tries > nv {
+			tries = nv
+		}
+		for a := 0; a < tries; a++ {
+			*searched += e.costs.StealAttempt
+			w.stealAttempts++
+			v := sr.Victim(self, w.rng.Intn(nv))
+			vp := d.physical(v)
+			if vp == ent.idx {
+				continue // cyclic wrap collided with ourselves
+			}
+			ve := d.entities[vp]
+			if sr.MigrationStealable(v) {
+				if t, ok := ve.queues.StealMigration(sr.MinDepth); ok {
+					w.steals++
+					e.rebase(t, self, d)
+					return t, true
+				}
+			}
+			if sr.PrimaryStealable(v) {
+				if t, ok := ve.queues.StealPrimary(sr.MinDepth); ok {
+					w.steals++
+					e.rebase(t, self, d)
+					return t, true
+				}
+			}
+		}
+		return nil, false
+	}
+	// Conventional random work stealing.
+	tries := e.cfg.MaxStealTries
+	if tries > n-1 {
+		tries = n - 1
+	}
+	for a := 0; a < tries; a++ {
+		*searched += e.costs.StealAttempt
+		w.stealAttempts++
+		v := w.rng.Intn(n - 1)
+		if v >= ent.idx {
+			v++
+		}
+		if t, ok := d.entities[v].queues.StealAny(); ok {
+			w.steals++
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// rebase re-owns a stolen task's distribution range onto the thief: the
+// range keeps its width but its owner becomes the thief (clamped to the
+// domain), so the stolen subtree unfolds around the thief while staying
+// deterministic below (see DESIGN.md on steal semantics).
+func (e *Engine) rebase(t *Task, thiefLogical int, d *domain) {
+	t.inMigrationQueue = false
+	width := t.rng.Width()
+	frac := t.rng.X - float64(t.rng.Owner())
+	newX := float64(thiefLogical) + frac
+	maxX := float64(d.offset+len(d.entities)) - width
+	if newX > maxX {
+		newX = maxX
+	}
+	if newX < float64(d.offset) {
+		newX = float64(d.offset)
+	}
+	t.rng = sched.Range{X: newX, Y: newX + width}
+}
+
+// startTask begins executing task t on worker w, charging `searched` time
+// as idle-search cost and `oh` as scheduling overhead.
+func (e *Engine) startTask(w *worker, t *Task, ent *entity, searched, oh float64) {
+	ts := e.now + searched + oh
+	if w.idle {
+		w.idleTime += (ts - w.idleStart) - oh
+		w.idle = false
+		w.backoff = 0
+	} else {
+		w.idleTime += searched
+	}
+	w.overheadTime += oh
+	t.state = taskRunning
+	t.execWorker = w.id
+	if ent != nil {
+		t.ent = ent
+		if t.group != nil {
+			ent.lastGroup = t.group
+		}
+	}
+	w.current = t
+	e.schedule(w, ts)
+}
+
+// goIdle records the transition to idleness and schedules a backoff poll.
+func (e *Engine) goIdle(w *worker, searched float64) {
+	if !w.idle {
+		w.idle = true
+		w.idleStart = e.now
+	}
+	if w.backoff == 0 {
+		w.backoff = e.costs.IdlePoll
+	} else if w.backoff < e.costs.IdlePoll*maxBackoffFactor {
+		w.backoff *= 2
+	}
+	e.schedule(w, e.now+searched+w.backoff)
+}

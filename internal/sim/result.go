@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunResult is the outcome of one simulated run, matching the paper's
+// profiling (§6.1): total time plus per-worker busy/idle/overhead
+// accounting and cache miss counts.
+type RunResult struct {
+	// Mode is the scheduler that produced the result.
+	Mode Mode
+	// Time is the virtual makespan of the run.
+	Time float64
+	// Workers is the number of workers.
+	Workers int
+
+	// BusyTime, IdleTime, OverheadTime are summed over workers. The busy
+	// time is time spent executing tasks, idle time is time searching for
+	// ready tasks, overhead is scheduler bookkeeping (§6.1).
+	BusyTime, IdleTime, OverheadTime float64
+
+	// PrivateMisses and SharedMisses are the paper's L2/L3 miss analogues
+	// (Fig. 18), summed over all caches of the level.
+	PrivateMisses, SharedMisses int64
+	// Accesses is the total number of chunk accesses.
+	Accesses int64
+	// RemoteAccesses counts fetches served from a remote NUMA node.
+	RemoteAccesses int64
+
+	// Steals and StealAttempts count successful and total steal attempts.
+	Steals, StealAttempts int64
+	// Migrations counts ADWS deterministic task migrations.
+	Migrations int64
+	// Tasks counts executed tasks.
+	Tasks int64
+	// Ties and Flattens count multi-level scheduling decisions.
+	Ties, Flattens int64
+}
+
+func (e *Engine) collect(start float64) RunResult {
+	r := RunResult{
+		Mode:    e.cfg.Mode,
+		Time:    e.finalTime - start,
+		Workers: len(e.workers),
+	}
+	for _, w := range e.workers {
+		r.BusyTime += w.busyTime
+		r.IdleTime += w.idleTime
+		r.OverheadTime += w.overheadTime
+		r.Steals += w.steals
+		r.StealAttempts += w.stealAttempts
+		r.Migrations += w.migrationsOut
+		r.Tasks += w.tasksRun
+	}
+	// Workers that are still idle at the end of the run accrued idle time
+	// up to the makespan.
+	for _, w := range e.workers {
+		if w.idle {
+			r.IdleTime += e.finalTime - w.idleStart
+			w.idle = false
+		}
+	}
+	r.PrivateMisses = e.hier.MissesAtPrivate()
+	r.SharedMisses = e.hier.MissesAtShared()
+	r.Accesses = e.hier.Accesses
+	r.RemoteAccesses = e.hier.RemoteAccesses
+	r.Ties = e.ties
+	r.Flattens = e.flattens
+	return r
+}
+
+// Speedup returns serialTime / r.Time.
+func (r RunResult) Speedup(serialTime float64) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return serialTime / r.Time
+}
+
+// String renders a one-line summary.
+func (r RunResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: time=%.0f busy=%.0f idle=%.0f oh=%.0f L2miss=%d L3miss=%d steals=%d/%d tasks=%d",
+		r.Mode, r.Time, r.BusyTime, r.IdleTime, r.OverheadTime,
+		r.PrivateMisses, r.SharedMisses, r.Steals, r.StealAttempts, r.Tasks)
+	if r.Ties+r.Flattens > 0 {
+		fmt.Fprintf(&b, " ties=%d flattens=%d", r.Ties, r.Flattens)
+	}
+	return b.String()
+}

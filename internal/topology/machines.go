@@ -1,0 +1,51 @@
+package topology
+
+// Canonical machines used throughout the benchmarks and tests.
+
+// OakbridgeCX models the evaluation machine of the paper (Table 1): a
+// two-socket Intel Xeon Platinum 8280 (Cascade Lake) node of the
+// Oakbridge-CX supercomputer. 56 cores (28/socket), 1 MB private L2 per
+// core, 38.5 MB shared L3 per socket, one NUMA node per socket.
+//
+// In the paper's tree-of-caches numbering: level 0 is main memory, level 1
+// the two L3s, level 2 the 56 private caches. (The 32 KB L1 is folded into
+// the private level; the paper's analysis and PMU counters use L2 as the
+// private cache.)
+func OakbridgeCX() *Machine {
+	return MustNew("oakbridge-cx", []Level{
+		{Fanout: 2, Capacity: 38_500 * 1024}, // L3 per socket, 38.5 MB
+		{Fanout: 28, Capacity: 1 << 20},      // L2 per core, 1 MB
+	}, 1)
+}
+
+// TwoLevel16 models the 16-core example machine of the paper's Fig. 12:
+// four level-1 caches of four cores each, single NUMA node. Capacities are
+// chosen so that interesting multi-level behaviour appears at small sizes:
+// 8 MB shared caches over 512 KB private caches.
+func TwoLevel16() *Machine {
+	return MustNew("twolevel16", []Level{
+		{Fanout: 4, Capacity: 8 << 20},
+		{Fanout: 4, Capacity: 512 << 10},
+	}, 0)
+}
+
+// Flat builds a machine with p workers under a single shared cache of the
+// given capacity: the degenerate hierarchy where single-level and
+// multi-level scheduling coincide.
+func Flat(p int, shared, private int64) *Machine {
+	return MustNew("flat", []Level{
+		{Fanout: 1, Capacity: shared},
+		{Fanout: p, Capacity: private},
+	}, 0)
+}
+
+// ThreeLevel64 models a deeper hierarchy: 2 sockets × 4 clusters × 8 cores,
+// with a NUMA node per socket. Used to exercise multi-level scheduling
+// across three cache levels and cache-hierarchy flattening over sub-trees.
+func ThreeLevel64() *Machine {
+	return MustNew("threelevel64", []Level{
+		{Fanout: 2, Capacity: 64 << 20}, // per-socket LLC
+		{Fanout: 4, Capacity: 8 << 20},  // per-cluster cache
+		{Fanout: 8, Capacity: 1 << 20},  // private
+	}, 1)
+}

@@ -1,0 +1,310 @@
+// Package topology models a machine's memory hierarchy as a tree of caches,
+// following the model of Alpern et al. used by the ADWS paper (§4.1).
+//
+// A cache is identified by its level l and an index i among the level-l
+// caches, written C[l][i]. Level 0 is the root (main memory, infinite
+// capacity); deeper levels are smaller and faster. Leaf caches are private
+// (one worker pinned to each). Note this numbering is the reverse of the
+// usual L1/L2/L3 convention: the paper's "level-1 caches" of a two-socket
+// machine are the L3s, and its "level-2 caches" are the per-core private
+// caches.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cache is one node in the tree of caches.
+type Cache struct {
+	// Level is the depth in the tree: 0 for the root (main memory).
+	Level int
+	// Index identifies this cache among the caches of its level, numbered
+	// left to right.
+	Index int
+	// Capacity is the cache capacity in bytes. The root has capacity
+	// MemCapacity (effectively infinite).
+	Capacity int64
+	// NUMANode is the NUMA node this cache belongs to (-1 for the root on
+	// multi-node machines; the memory of node n is attached under the
+	// level-1 cache of socket n on the canonical machines).
+	NUMANode int
+
+	parent   *Cache
+	children []*Cache
+
+	// firstWorker and lastWorker delimit the half-open worker range
+	// [firstWorker, lastWorker) pinned under this cache.
+	firstWorker int
+	lastWorker  int
+}
+
+// Parent returns the parent cache, or nil for the root.
+func (c *Cache) Parent() *Cache { return c.parent }
+
+// Children returns the child caches, left to right. Leaves return nil.
+func (c *Cache) Children() []*Cache { return c.children }
+
+// IsLeaf reports whether this cache is a leaf (private) cache.
+func (c *Cache) IsLeaf() bool { return len(c.children) == 0 }
+
+// FirstWorker returns the smallest worker ID pinned under this cache.
+func (c *Cache) FirstWorker() int { return c.firstWorker }
+
+// WorkerCount returns the number of workers pinned under this cache.
+func (c *Cache) WorkerCount() int { return c.lastWorker - c.firstWorker }
+
+// ContainsWorker reports whether worker w is pinned under this cache.
+func (c *Cache) ContainsWorker(w int) bool {
+	return c.firstWorker <= w && w < c.lastWorker
+}
+
+// String returns the paper-style name of this cache, e.g. "C[1][3]".
+func (c *Cache) String() string { return fmt.Sprintf("C[%d][%d]", c.Level, c.Index) }
+
+// Machine is a tree of caches plus worker pinning.
+type Machine struct {
+	// Name is a human-readable machine name.
+	Name string
+
+	root *Cache
+	// levels[l] lists the level-l caches left to right.
+	levels [][]*Cache
+	// leafOf[w] is the leaf (private) cache worker w is pinned to.
+	leafOf []*Cache
+	// numNUMA is the number of NUMA nodes (at least 1).
+	numNUMA int
+}
+
+// MemCapacity is the nominal capacity of the root "cache" (main memory).
+// It is large enough that no realistic working set exceeds it.
+const MemCapacity = int64(1) << 46
+
+// Level describes one level of a uniform machine: every cache at the level
+// has the same capacity and the same number of children.
+type Level struct {
+	// Fanout is the number of children each cache at the previous level has
+	// at this level.
+	Fanout int
+	// Capacity is the per-cache capacity in bytes at this level.
+	Capacity int64
+}
+
+// New builds a uniform machine from a level specification. levels[0]
+// describes the children of the root; the last level's caches are the
+// private leaf caches, one worker pinned to each. numaSplit gives the level
+// whose caches each own a NUMA node (commonly 1, the sockets); pass 0 for a
+// single-node machine.
+func New(name string, levels []Level, numaSplit int) (*Machine, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("topology: machine %q needs at least one level", name)
+	}
+	for i, l := range levels {
+		if l.Fanout <= 0 {
+			return nil, fmt.Errorf("topology: level %d fanout %d must be positive", i+1, l.Fanout)
+		}
+		if l.Capacity <= 0 {
+			return nil, fmt.Errorf("topology: level %d capacity %d must be positive", i+1, l.Capacity)
+		}
+		if i > 0 && l.Capacity > levels[i-1].Capacity {
+			return nil, fmt.Errorf("topology: level %d capacity %d exceeds parent level capacity %d",
+				i+1, l.Capacity, levels[i-1].Capacity)
+		}
+	}
+	if numaSplit < 0 || numaSplit > len(levels) {
+		return nil, fmt.Errorf("topology: numaSplit %d out of range [0,%d]", numaSplit, len(levels))
+	}
+
+	m := &Machine{Name: name}
+	m.root = &Cache{Level: 0, Index: 0, Capacity: MemCapacity, NUMANode: -1}
+	m.levels = make([][]*Cache, len(levels)+1)
+	m.levels[0] = []*Cache{m.root}
+	for li, spec := range levels {
+		level := li + 1
+		var row []*Cache
+		for _, parent := range m.levels[li] {
+			for k := 0; k < spec.Fanout; k++ {
+				c := &Cache{
+					Level:    level,
+					Index:    len(row),
+					Capacity: spec.Capacity,
+					parent:   parent,
+				}
+				parent.children = append(parent.children, c)
+				row = append(row, c)
+			}
+		}
+		m.levels[level] = row
+	}
+
+	// Pin workers to leaves and record worker ranges bottom-up.
+	leaves := m.levels[len(m.levels)-1]
+	m.leafOf = make([]*Cache, len(leaves))
+	for w, leaf := range leaves {
+		leaf.firstWorker = w
+		leaf.lastWorker = w + 1
+		m.leafOf[w] = leaf
+	}
+	for level := len(m.levels) - 2; level >= 0; level-- {
+		for _, c := range m.levels[level] {
+			c.firstWorker = c.children[0].firstWorker
+			c.lastWorker = c.children[len(c.children)-1].lastWorker
+		}
+	}
+
+	// Assign NUMA nodes: each cache at numaSplit owns one node; everything
+	// beneath inherits it. numaSplit==0 means one node for the whole machine.
+	if numaSplit == 0 {
+		m.numNUMA = 1
+		var mark func(c *Cache)
+		mark = func(c *Cache) {
+			c.NUMANode = 0
+			for _, ch := range c.children {
+				mark(ch)
+			}
+		}
+		mark(m.root)
+		m.root.NUMANode = 0
+	} else {
+		m.numNUMA = len(m.levels[numaSplit])
+		for node, c := range m.levels[numaSplit] {
+			var mark func(c *Cache)
+			mark = func(c *Cache) {
+				c.NUMANode = node
+				for _, ch := range c.children {
+					mark(ch)
+				}
+			}
+			mark(c)
+		}
+		m.root.NUMANode = -1
+		for level := 1; level < numaSplit; level++ {
+			for _, c := range m.levels[level] {
+				c.NUMANode = -1
+			}
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error. For package-level canonical machines.
+func MustNew(name string, levels []Level, numaSplit int) *Machine {
+	m, err := New(name, levels, numaSplit)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Root returns the root of the cache tree (main memory).
+func (m *Machine) Root() *Cache { return m.root }
+
+// NumWorkers returns the number of workers (= leaf caches).
+func (m *Machine) NumWorkers() int { return len(m.leafOf) }
+
+// NumLevels returns the number of cache levels including the root, i.e. the
+// maximum level index is NumLevels()-1.
+func (m *Machine) NumLevels() int { return len(m.levels) }
+
+// MaxLevel returns the leaf level index (the paper's l_max).
+func (m *Machine) MaxLevel() int { return len(m.levels) - 1 }
+
+// LevelCaches returns the caches at the given level, left to right.
+func (m *Machine) LevelCaches(level int) []*Cache {
+	if level < 0 || level >= len(m.levels) {
+		return nil
+	}
+	return m.levels[level]
+}
+
+// CacheAt returns the cache C[level][index], or nil if out of range.
+func (m *Machine) CacheAt(level, index int) *Cache {
+	row := m.LevelCaches(level)
+	if index < 0 || index >= len(row) {
+		return nil
+	}
+	return row[index]
+}
+
+// LeafOf returns the private cache worker w is pinned to.
+func (m *Machine) LeafOf(w int) *Cache { return m.leafOf[w] }
+
+// NumNUMANodes returns the number of NUMA nodes (≥ 1).
+func (m *Machine) NumNUMANodes() int { return m.numNUMA }
+
+// NUMANodeOfWorker returns the NUMA node worker w's core belongs to.
+func (m *Machine) NUMANodeOfWorker(w int) int { return m.leafOf[w].NUMANode }
+
+// CacheOfWorkerAtLevel returns the level-l ancestor cache of worker w's leaf.
+// Level 0 returns the root; level MaxLevel returns the leaf itself.
+func (m *Machine) CacheOfWorkerAtLevel(w, level int) *Cache {
+	c := m.leafOf[w]
+	for c.Level > level {
+		c = c.parent
+	}
+	return c
+}
+
+// Descendants returns the level-l caches that are descendants of c (the
+// paper's D(C, l), Fig. 15). If l == c.Level it returns {c}.
+func Descendants(c *Cache, level int) []*Cache {
+	if level < c.Level {
+		return nil
+	}
+	if level == c.Level {
+		return []*Cache{c}
+	}
+	var out []*Cache
+	for _, ch := range c.children {
+		out = append(out, Descendants(ch, level)...)
+	}
+	return out
+}
+
+// TotalCapacity returns the sum of capacities of the given caches.
+func TotalCapacity(caches []*Cache) int64 {
+	var sum int64
+	for _, c := range caches {
+		sum += c.Capacity
+	}
+	return sum
+}
+
+// AggregateCapacity returns the total capacity of all level-l caches on the
+// machine, e.g. the paper's "total L3" (77 MB on Oakbridge-CX) for level 1.
+func (m *Machine) AggregateCapacity(level int) int64 {
+	return TotalCapacity(m.LevelCaches(level))
+}
+
+// String renders the machine as an indented tree, for diagnostics.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d workers, %d NUMA nodes\n", m.Name, m.NumWorkers(), m.numNUMA)
+	var walk func(c *Cache, indent int)
+	walk = func(c *Cache, indent int) {
+		fmt.Fprintf(&b, "%s%s cap=%s workers=[%d,%d) numa=%d\n",
+			strings.Repeat("  ", indent), c, FormatBytes(c.Capacity),
+			c.firstWorker, c.lastWorker, c.NUMANode)
+		for _, ch := range c.children {
+			walk(ch, indent+1)
+		}
+	}
+	walk(m.root, 0)
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= MemCapacity:
+		return "inf"
+	case n >= 1<<30:
+		return fmt.Sprintf("%.4gGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.4gMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.4gKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

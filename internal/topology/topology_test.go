@@ -1,0 +1,253 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOakbridgeCXGeometry(t *testing.T) {
+	m := OakbridgeCX()
+	if got := m.NumWorkers(); got != 56 {
+		t.Fatalf("NumWorkers = %d, want 56", got)
+	}
+	if got := m.MaxLevel(); got != 2 {
+		t.Fatalf("MaxLevel = %d, want 2", got)
+	}
+	if got := len(m.LevelCaches(1)); got != 2 {
+		t.Fatalf("level-1 caches = %d, want 2", got)
+	}
+	if got := len(m.LevelCaches(2)); got != 56 {
+		t.Fatalf("level-2 caches = %d, want 56", got)
+	}
+	// Total L3 = 77 MB, the vertical dashed line in Fig. 16.
+	if got, want := m.AggregateCapacity(1), int64(2*38_500*1024); got != want {
+		t.Fatalf("aggregate L3 = %d, want %d", got, want)
+	}
+	if got := m.NumNUMANodes(); got != 2 {
+		t.Fatalf("NumNUMANodes = %d, want 2", got)
+	}
+	// Workers 0..27 on socket 0, 28..55 on socket 1.
+	if n := m.NUMANodeOfWorker(0); n != 0 {
+		t.Errorf("worker 0 NUMA node = %d, want 0", n)
+	}
+	if n := m.NUMANodeOfWorker(27); n != 0 {
+		t.Errorf("worker 27 NUMA node = %d, want 0", n)
+	}
+	if n := m.NUMANodeOfWorker(28); n != 1 {
+		t.Errorf("worker 28 NUMA node = %d, want 1", n)
+	}
+	if n := m.NUMANodeOfWorker(55); n != 1 {
+		t.Errorf("worker 55 NUMA node = %d, want 1", n)
+	}
+}
+
+func TestWorkerRanges(t *testing.T) {
+	m := TwoLevel16()
+	if m.NumWorkers() != 16 {
+		t.Fatalf("NumWorkers = %d, want 16", m.NumWorkers())
+	}
+	// Each level-1 cache covers 4 consecutive workers.
+	for i, c := range m.LevelCaches(1) {
+		if c.FirstWorker() != 4*i || c.WorkerCount() != 4 {
+			t.Errorf("C[1][%d] workers [%d,+%d), want [%d,+4)",
+				i, c.FirstWorker(), c.WorkerCount(), 4*i)
+		}
+	}
+	// Root covers all workers.
+	if m.Root().FirstWorker() != 0 || m.Root().WorkerCount() != 16 {
+		t.Errorf("root worker range [%d,+%d), want [0,+16)",
+			m.Root().FirstWorker(), m.Root().WorkerCount())
+	}
+	// ContainsWorker agrees with the range.
+	c := m.CacheAt(1, 2)
+	for w := 0; w < 16; w++ {
+		want := w >= 8 && w < 12
+		if got := c.ContainsWorker(w); got != want {
+			t.Errorf("C[1][2].ContainsWorker(%d) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestParentChildLinks(t *testing.T) {
+	m := ThreeLevel64()
+	if m.NumWorkers() != 64 {
+		t.Fatalf("NumWorkers = %d, want 64", m.NumWorkers())
+	}
+	for level := 1; level <= m.MaxLevel(); level++ {
+		for _, c := range m.LevelCaches(level) {
+			if c.Parent() == nil {
+				t.Fatalf("%v has nil parent", c)
+			}
+			found := false
+			for _, ch := range c.Parent().Children() {
+				if ch == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v not among its parent's children", c)
+			}
+		}
+	}
+	if m.Root().Parent() != nil {
+		t.Error("root has a parent")
+	}
+}
+
+func TestCacheOfWorkerAtLevel(t *testing.T) {
+	m := ThreeLevel64()
+	for w := 0; w < m.NumWorkers(); w++ {
+		for level := 0; level <= m.MaxLevel(); level++ {
+			c := m.CacheOfWorkerAtLevel(w, level)
+			if c.Level != level {
+				t.Fatalf("worker %d level %d: got cache at level %d", w, level, c.Level)
+			}
+			if !c.ContainsWorker(w) {
+				t.Fatalf("worker %d level %d: cache %v does not contain worker", w, level, c)
+			}
+		}
+		if m.CacheOfWorkerAtLevel(w, m.MaxLevel()) != m.LeafOf(w) {
+			t.Fatalf("worker %d: leaf-level ancestor is not LeafOf", w)
+		}
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	m := ThreeLevel64()
+	root := m.Root()
+	if got := len(Descendants(root, 3)); got != 64 {
+		t.Errorf("Descendants(root, 3) = %d caches, want 64", got)
+	}
+	if got := len(Descendants(root, 1)); got != 2 {
+		t.Errorf("Descendants(root, 1) = %d caches, want 2", got)
+	}
+	c := m.CacheAt(1, 1)
+	ds := Descendants(c, 3)
+	if len(ds) != 32 {
+		t.Fatalf("Descendants(C[1][1], 3) = %d caches, want 32", len(ds))
+	}
+	for _, d := range ds {
+		if d.FirstWorker() < 32 {
+			t.Errorf("descendant %v covers worker %d outside socket 1", d, d.FirstWorker())
+		}
+	}
+	if ds := Descendants(c, 0); ds != nil {
+		t.Errorf("Descendants above own level = %v, want nil", ds)
+	}
+	if ds := Descendants(c, 1); len(ds) != 1 || ds[0] != c {
+		t.Errorf("Descendants at own level should be the cache itself")
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	m := OakbridgeCX()
+	if got, want := TotalCapacity(m.LevelCaches(2)), int64(56<<20); got != want {
+		t.Errorf("total private capacity = %d, want %d", got, want)
+	}
+	if got := TotalCapacity(nil); got != 0 {
+		t.Errorf("TotalCapacity(nil) = %d, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels []Level
+		numa   int
+	}{
+		{"empty", nil, 0},
+		{"zero fanout", []Level{{Fanout: 0, Capacity: 1}}, 0},
+		{"zero capacity", []Level{{Fanout: 1, Capacity: 0}}, 0},
+		{"growing capacity", []Level{{Fanout: 2, Capacity: 100}, {Fanout: 2, Capacity: 200}}, 0},
+		{"numa out of range", []Level{{Fanout: 2, Capacity: 100}}, 2},
+		{"negative numa", []Level{{Fanout: 2, Capacity: 100}}, -1},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.levels, c.numa); err == nil {
+			t.Errorf("New(%s) succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestSingleNUMA(t *testing.T) {
+	m := TwoLevel16()
+	if m.NumNUMANodes() != 1 {
+		t.Fatalf("NumNUMANodes = %d, want 1", m.NumNUMANodes())
+	}
+	for w := 0; w < m.NumWorkers(); w++ {
+		if m.NUMANodeOfWorker(w) != 0 {
+			t.Errorf("worker %d NUMA node = %d, want 0", w, m.NUMANodeOfWorker(w))
+		}
+	}
+	if m.Root().NUMANode != 0 {
+		t.Errorf("root NUMA node = %d, want 0 on single-node machine", m.Root().NUMANode)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := TwoLevel16().String()
+	for _, want := range []string{"twolevel16", "C[0][0]", "C[1][3]", "C[2][15]", "8MB", "512KB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1 << 10, "1KB"},
+		{64 << 10, "64KB"},
+		{1 << 20, "1MB"},
+		{int64(38_500 * 1024), "37.6MB"},
+		{1 << 30, "1GB"},
+		{2 << 30, "2GB"},
+		{MemCapacity, "inf"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: for any uniform machine shape, worker ranges at every level
+// partition [0, P) into contiguous, equal-width blocks.
+func TestWorkerPartitionProperty(t *testing.T) {
+	f := func(f1, f2 uint8) bool {
+		fan1 := int(f1%4) + 1
+		fan2 := int(f2%4) + 1
+		m, err := New("prop", []Level{
+			{Fanout: fan1, Capacity: 1 << 20},
+			{Fanout: fan2, Capacity: 1 << 10},
+		}, 0)
+		if err != nil {
+			return false
+		}
+		p := m.NumWorkers()
+		if p != fan1*fan2 {
+			return false
+		}
+		for level := 0; level <= m.MaxLevel(); level++ {
+			next := 0
+			for _, c := range m.LevelCaches(level) {
+				if c.FirstWorker() != next {
+					return false
+				}
+				next = c.FirstWorker() + c.WorkerCount()
+			}
+			if next != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

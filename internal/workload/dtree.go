@@ -1,0 +1,94 @@
+package workload
+
+import "github.com/parlab/adws/internal/sim"
+
+// DecisionTree is the paper's motivating benchmark (§2.1): CART decision
+// tree construction over a HIGGS-like dataset. Every tree node runs
+// consecutive flat parallel loops over its rows to build per-attribute
+// histograms (the iterative-data-locality hotspot of Fig. 4), then a
+// parallel partition, then recurses on the two row partitions. The
+// recursion cutoff is 64 KB, parallel loops and partitioning cut off at
+// 256 KB, and the maximum depth is 17.
+//
+// The 28 attributes are modelled as dtAttrGroups consecutive sweeps, each
+// standing for a batch of attributes (the histogram of a batch is built in
+// one fused pass) — this keeps the event count tractable while preserving
+// the repeated-sweep reuse pattern ADWS exploits.
+func DecisionTree(bytes int64, seed uint64) Instance {
+	return Instance{
+		Name:  "dtree",
+		Bytes: bytes,
+		Prepare: func(mem *sim.Memory) (sim.Body, sim.Body) {
+			rows := mem.Alloc("dt.rows", bytes)
+			shape := buildDTShape(rows.Bytes(), seed, 0, 0)
+			root := dtBody(rows, shape)
+			init := parFor(rows, 256<<10, 1, dtHistCompute)
+			return root, init
+		},
+	}
+}
+
+const (
+	dtAttrGroups  = 4
+	dtMaxDepth    = 17
+	dtCutoff      = 64 << 10
+	dtLoopCutoff  = 256 << 10
+	dtHistCompute = 2000 // per chunk-pass: bin updates per element
+	dtPartCompute = 1200
+	dtLeafCompute = 1500
+)
+
+type dtShape struct {
+	bytes int64
+	work  float64
+	l, r  *dtShape
+}
+
+func buildDTShape(bytes int64, seed, path uint64, depth int) *dtShape {
+	n := &dtShape{bytes: bytes}
+	if bytes <= dtCutoff || bytes < 2*sim.ChunkSize || depth >= dtMaxDepth {
+		n.work = float64(bytes)
+		return n
+	}
+	// Split balance depends on the best split found; real trees are
+	// moderately unbalanced.
+	r := nodeRNG(seed, path)
+	f := 0.25 + 0.5*r.Float64()
+	lb, rb := splitBytes(bytes, f)
+	n.l = buildDTShape(lb, seed, leftPath(path), depth+1)
+	n.r = buildDTShape(rb, seed, rightPath(path), depth+1)
+	// Histogram sweeps + partition sweep over the whole node's rows.
+	n.work = float64(dtAttrGroups+2)*float64(bytes) + n.l.work + n.r.work
+	return n
+}
+
+func dtBody(rows sim.Segment, sh *dtShape) sim.Body {
+	return func(b *sim.B) {
+		if sh.l == nil {
+			b.Compute(dtLeafCompute*float64(rows.NumChunks()),
+				sim.AccessSpec{Seg: rows, Passes: 1})
+			return
+		}
+		// COMPUTEBESTSPLIT: consecutive histogram sweeps over the same
+		// rows (iterative data locality).
+		for g := 0; g < dtAttrGroups; g++ {
+			hist := parFor(rows, dtLoopCutoff, 1, dtHistCompute)
+			hist(b)
+		}
+		// PARTITION: one more parallel sweep (read + write modelled as two
+		// passes over the rows).
+		part := parFor(rows, dtLoopCutoff, 2, dtPartCompute)
+		part(b)
+		// Recurse on the two partitions.
+		lseg := rows.Slice(0, sh.l.bytes)
+		rseg := rows.Slice(sh.l.bytes, sh.r.bytes)
+		b.Fork(sim.GroupSpec{
+			Work: sh.l.work + sh.r.work,
+			Size: rows.Bytes(),
+			Children: []sim.ChildSpec{
+				{Work: sh.l.work, Size: sh.l.bytes, Body: dtBody(lseg, sh.l)},
+				{Work: sh.r.work, Size: sh.r.bytes, Body: dtBody(rseg, sh.r)},
+			},
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+
+	"github.com/parlab/adws/internal/sim"
+)
+
+// Heat2D is the paper's five-point stencil benchmark with double
+// buffering: a square grid of doubles is recursively divided into four
+// equal subgrids down to tile granularity, and the whole sweep repeats for
+// a number of iterations. It has strong iterative data locality (the same
+// tile is touched every iteration) and little hierarchical data locality
+// (tiles share only halos), which is why ADWS shines on it below the
+// aggregate cache size (Fig. 16) while multi-level scheduling cannot
+// reduce misses above it.
+//
+// Grids are stored tile-major; tiles are 128×128 doubles (128 KB = 2
+// chunks; the paper's 64×64 cutoff is below chunk granularity).
+func Heat2D(bytes int64, seed uint64) Instance {
+	return Heat2DIters(bytes, heat2DDefaultIters, seed)
+}
+
+// Heat2DIters builds a Heat2D instance with an explicit iteration count
+// (the paper measures 50 iterations; benchmarks here default to fewer to
+// keep simulated event counts manageable — the shape is unchanged).
+func Heat2DIters(bytes int64, iters int, seed uint64) Instance {
+	// Two buffers of N×N doubles: N = sqrt(bytes/16), rounded to tiles.
+	n := int(math.Sqrt(float64(bytes) / 16))
+	nt := n / heatTile
+	if nt < 1 {
+		nt = 1
+	}
+	n = nt * heatTile
+	actual := int64(2) * int64(n) * int64(n) * 8
+	return Instance{
+		Name:  "heat2d",
+		Bytes: actual,
+		Prepare: func(mem *sim.Memory) (sim.Body, sim.Body) {
+			gb := int64(n) * int64(n) * 8
+			src := mem.Alloc("heat.src", gb)
+			dst := mem.Alloc("heat.dst", gb)
+			h := &heatState{src: src, dst: dst, nTiles: nt}
+			root := func(b *sim.B) {
+				for it := 0; it < iters; it++ {
+					s, d := h.src, h.dst
+					if it%2 == 1 {
+						s, d = d, s
+					}
+					h.sweep(s, d, nt, nt, 0, 0)(b)
+				}
+			}
+			init := func(b *sim.B) {
+				// First-touch with the sweep's own decomposition so pages
+				// land on the NUMA node that will compute them.
+				h.sweep(src, dst, nt, nt, 0, 0)(b)
+			}
+			return root, init
+		},
+	}
+}
+
+const (
+	heatTile           = 128
+	heatTileBytes      = int64(heatTile) * heatTile * 8 // 128 KB = 2 chunks
+	heatDefaultSeed    = 0
+	heat2DDefaultIters = 10
+	// heatTileCompute is the stencil compute per tile sweep.
+	heatTileCompute = 3000
+)
+
+type heatState struct {
+	src, dst sim.Segment
+	nTiles   int
+}
+
+func (h *heatState) tile(s sim.Segment, i, j int) sim.Segment {
+	return s.Slice((int64(i)*int64(h.nTiles)+int64(j))*heatTileBytes, heatTileBytes)
+}
+
+// sweep builds one stencil iteration over the ni×nj-tile subgrid at
+// (i0,j0): recursive four-way division into (near-)equally sized subgrids.
+func (h *heatState) sweep(src, dst sim.Segment, ni, nj, i0, j0 int) sim.Body {
+	if ni == 1 && nj == 1 {
+		return func(b *sim.B) {
+			b.Compute(heatTileCompute,
+				sim.AccessSpec{Seg: h.tile(src, i0, j0), Passes: 1},
+				sim.AccessSpec{Seg: h.tile(dst, i0, j0), Passes: 1},
+			)
+		}
+	}
+	ai, bi := ni/2, ni-ni/2
+	aj, bj := nj/2, nj-nj/2
+	size := func(mi, mj int) int64 { return 2 * int64(mi) * int64(mj) * heatTileBytes }
+	type quad struct{ mi, mj, qi, qj int }
+	var quads []quad
+	for _, q := range []quad{
+		{ai, aj, i0, j0}, {ai, bj, i0, j0 + aj},
+		{bi, aj, i0 + ai, j0}, {bi, bj, i0 + ai, j0 + aj},
+	} {
+		if q.mi > 0 && q.mj > 0 {
+			quads = append(quads, q)
+		}
+	}
+	return func(b *sim.B) {
+		var kids []sim.ChildSpec
+		var total float64
+		for _, q := range quads {
+			w := float64(q.mi) * float64(q.mj)
+			total += w
+			kids = append(kids, sim.ChildSpec{
+				Work: w,
+				Size: size(q.mi, q.mj),
+				Body: h.sweep(src, dst, q.mi, q.mj, q.qi, q.qj),
+			})
+		}
+		b.Fork(sim.GroupSpec{Work: total, Size: size(ni, nj), Children: kids})
+	}
+}
