@@ -32,6 +32,7 @@ import (
 
 	"github.com/parlab/adws/internal/runtime"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
 )
 
 // Scheduler selects the scheduling algorithm of a Pool.
@@ -63,6 +64,21 @@ type GroupHint = runtime.GroupHint
 // Stats aggregates scheduling counters.
 type Stats = runtime.Stats
 
+// WorkerStats is one worker's scheduling counters (Stats.PerWorker).
+type WorkerStats = runtime.WorkerStats
+
+// Tracer records per-worker scheduler events into lock-free ring buffers
+// and exports them as Chrome trace-event JSON (WriteChromeTrace, viewable
+// in Perfetto or chrome://tracing) or derived metrics (Summarize). Enable
+// it with WithTracing; see docs/TRACING.md.
+type Tracer = trace.Tracer
+
+// TraceEvent is one recorded scheduler event.
+type TraceEvent = trace.Event
+
+// TraceSummary is the derived-metrics view of a trace.
+type TraceSummary = trace.Summary
+
 // CacheLevel describes one level of a machine's cache hierarchy, from the
 // outermost shared caches to the innermost private ones.
 type CacheLevel struct {
@@ -78,6 +94,7 @@ type config struct {
 	machine    *topology.Machine
 	seed       uint64
 	pinThreads bool
+	traceCap   int
 	err        error
 }
 
@@ -131,11 +148,26 @@ func WithPinnedThreads() Option {
 	return func(c *config) { c.pinThreads = true }
 }
 
+// WithTracing enables the scheduler event tracer with the given per-worker
+// ring capacity in events (<= 0 uses a default of 256k events per worker).
+// Retrieve the tracer with Pool.Tracer() after the traced Runs complete.
+// Without this option tracing costs nothing beyond one nil check per event
+// site.
+func WithTracing(eventsPerWorker int) Option {
+	return func(c *config) {
+		c.traceCap = eventsPerWorker
+		if c.traceCap <= 0 {
+			c.traceCap = trace.DefaultCapacity
+		}
+	}
+}
+
 // Pool is a running worker pool. Create one per process (or per disjoint
 // machine partition), reuse it across computations, and Close it when
 // done.
 type Pool struct {
-	p *runtime.Pool
+	p      *runtime.Pool
+	tracer *trace.Tracer
 }
 
 // NewPool starts a pool. Without options it runs conventional work
@@ -151,13 +183,18 @@ func NewPool(opts ...Option) (*Pool, error) {
 	if cfg.machine == nil {
 		cfg.machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
 	}
+	var tr *trace.Tracer
+	if cfg.traceCap > 0 {
+		tr = trace.New(cfg.machine.NumWorkers(), cfg.traceCap)
+	}
 	p := runtime.NewPool(runtime.Config{
 		Machine:    cfg.machine,
 		Policy:     cfg.scheduler,
 		Seed:       cfg.seed,
 		PinThreads: cfg.pinThreads,
+		Tracer:     tr,
 	})
-	return &Pool{p: p}, nil
+	return &Pool{p: p, tracer: tr}, nil
 }
 
 // Run executes fn as the root task and blocks until every transitively
@@ -173,6 +210,11 @@ func (p *Pool) Scheduler() Scheduler { return p.p.Policy() }
 
 // Stats returns scheduling counters accumulated since pool creation.
 func (p *Pool) Stats() Stats { return p.p.Stats() }
+
+// Tracer returns the pool's event tracer, or nil unless WithTracing was
+// given. Read it (Events, Summarize, WriteChromeTrace) only while no Run
+// is active.
+func (p *Pool) Tracer() *Tracer { return p.tracer }
 
 // Close stops the workers. Outstanding Runs must have completed.
 func (p *Pool) Close() { p.p.Close() }

@@ -8,10 +8,19 @@
 //	adwsbench -figure 18 -sizes 0.25,4    # custom working-set sweep
 //	adwsbench -machine twolevel16         # scaled-down machine (fast)
 //	adwsbench -csv out/                   # also write CSV files
+//	adwsbench -trace out.json -bench quicksort -mode sl-adws
+//	                                      # one traced simulation instead
 //
 // Figures: table1, 16 (speedup vs working set), 17 (time breakdown),
 // 18 (cache misses), 19 (work-hint sensitivity), 20 (no-hint ADWS),
 // 21 (NUMA placement), auto (extension: automatic SL/ML switching, §8).
+//
+// With -trace or -tracesummary, adwsbench instead runs one simulation of
+// the selected benchmark (first of -bench, default quicksort) under -mode
+// with the scheduler event tracer attached, writes the Chrome trace-event
+// JSON, and/or prints the derived metrics. The simulator emits the same
+// event schema as the real runtime (internal/trace), so the two are
+// diffable.
 package main
 
 import (
@@ -23,7 +32,10 @@ import (
 	"strings"
 
 	"github.com/parlab/adws/internal/figures"
+	"github.com/parlab/adws/internal/sim"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
+	"github.com/parlab/adws/internal/workload"
 )
 
 func main() {
@@ -35,6 +47,10 @@ func main() {
 		reps    = flag.Int("reps", 2, "repetitions per point (last, warm one measured)")
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+
+		traceOut = flag.String("trace", "", "run one traced simulation and write Chrome trace-event JSON (open in Perfetto)")
+		traceSum = flag.Bool("tracesummary", false, "run one traced simulation and print derived trace metrics")
+		mode     = flag.String("mode", "sl-adws", "scheduler for the traced simulation: sl-ws, sl-adws, ml-ws, ml-adws")
 	)
 	flag.Parse()
 
@@ -60,6 +76,11 @@ func main() {
 			}
 			opts.SizeFactors = append(opts.SizeFactors, f)
 		}
+	}
+
+	if *traceOut != "" || *traceSum {
+		runTraced(opts, *mode, *traceOut, *traceSum)
+		return
 	}
 
 	want := func(id string) bool { return *figure == "all" || *figure == id }
@@ -110,6 +131,65 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+}
+
+// runTraced executes one simulation of the selected benchmark with the
+// scheduler event tracer attached, then writes the Chrome trace and/or
+// prints the derived metrics next to the RunResult line (both use the
+// shared "steals=<successes>/<attempts>" form).
+func runTraced(opts figures.Options, modeStr, out string, printSummary bool) {
+	var m sim.Mode
+	switch modeStr {
+	case "sl-ws":
+		m = sim.SLWS
+	case "sl-adws":
+		m = sim.SLADWS
+	case "ml-ws":
+		m = sim.MLWS
+	case "ml-adws":
+		m = sim.MLADWS
+	default:
+		fatalf("unknown mode %q (want sl-ws, sl-adws, ml-ws, ml-adws)", modeStr)
+	}
+	machine := opts.Machine
+	bench := "quicksort"
+	if len(opts.Benches) > 0 {
+		bench = opts.Benches[0]
+	}
+	build, ok := workload.ByName(bench)
+	if !ok {
+		fatalf("unknown benchmark %q", bench)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 20190301
+	}
+	// Half the aggregate shared capacity: in-cache enough to exercise
+	// multi-level decisions, big enough to produce a real task tree.
+	inst := build(machine.AggregateCapacity(1)/2, seed)
+
+	tr := trace.New(machine.NumWorkers(), 0)
+	eng := sim.NewEngine(sim.Config{Machine: machine, Mode: m, Seed: seed, Tracer: tr})
+	root, _ := inst.Prepare(eng.Memory())
+	res := eng.Run(root)
+	fmt.Printf("%s: %s\n", inst, res)
+
+	if printSummary {
+		fmt.Print(tr.Summarize().String())
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("create %s: %v", out, err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close %s: %v", out, err)
+		}
+		fmt.Printf("wrote %s (%d workers, %d dropped events)\n", out, tr.NumWorkers(), tr.Drops())
 	}
 }
 

@@ -7,6 +7,7 @@
 //	adwsrun -bench quicksort -n 5000000 -sched adws
 //	adwsrun -bench dtree -rows 500000 -accuracy
 //	adwsrun -bench all -sched mladws
+//	adwsrun -bench quicksort -trace out.json -tracesummary
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"github.com/parlab/adws/internal/dtree"
 	"github.com/parlab/adws/internal/kernels"
 	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/trace"
 )
 
 func main() {
@@ -32,6 +34,11 @@ func main() {
 		iters    = flag.Int("iters", 10, "iterations for iterative benchmarks")
 		accuracy = flag.Bool("accuracy", false, "report decision tree accuracy")
 		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		traceSum  = flag.Bool("tracesummary", false, "print derived trace metrics (implies tracing)")
+		traceCap  = flag.Int("tracecap", 0, "per-worker trace ring capacity in events (0 = default)")
+		perWorker = flag.Bool("perworker", false, "print per-worker scheduling counters")
 	)
 	flag.Parse()
 
@@ -52,6 +59,9 @@ func main() {
 	opts := []adws.Option{adws.WithScheduler(s)}
 	if *workers > 0 {
 		opts = append(opts, adws.WithWorkers(*workers))
+	}
+	if *traceOut != "" || *traceSum {
+		opts = append(opts, adws.WithTracing(*traceCap))
 	}
 	pool, err := adws.NewPool(opts...)
 	if err != nil {
@@ -130,8 +140,40 @@ func main() {
 	})
 
 	st := pool.Stats()
-	fmt.Printf("tasks=%d migrations=%d steals=%d/%d busy=%v idle=%v\n",
-		st.Tasks, st.Migrations, st.Steals, st.StealAttempts,
+	fmt.Printf("tasks=%d migrations=%d %s (%.1f%% success) busy=%v idle=%v\n",
+		st.Tasks, st.Migrations, trace.StealRatio(st.Steals, st.StealAttempts),
+		100*st.StealSuccessRate(),
 		time.Duration(st.BusyNS).Round(time.Millisecond),
 		time.Duration(st.IdleNS).Round(time.Millisecond))
+	if *perWorker {
+		for _, w := range st.PerWorker {
+			fmt.Printf("  worker %2d: tasks=%d migrations=%d %s busy=%v idle=%v\n",
+				w.Worker, w.Tasks, w.Migrations, trace.StealRatio(w.Steals, w.StealAttempts),
+				time.Duration(w.BusyNS).Round(time.Millisecond),
+				time.Duration(w.IdleNS).Round(time.Millisecond))
+		}
+	}
+
+	if tr := pool.Tracer(); tr != nil {
+		if *traceSum {
+			fmt.Print(tr.Summarize().String())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d workers, %d dropped events)\n",
+				*traceOut, tr.NumWorkers(), tr.Drops())
+		}
+	}
 }

@@ -1,6 +1,9 @@
 package runtime
 
-import "github.com/parlab/adws/internal/sched"
+import (
+	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/trace"
+)
 
 // maxStealTries bounds victims tried per findTask call.
 const maxStealTries = 4
@@ -92,6 +95,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 	if n <= 1 {
 		return nil
 	}
+	tr := w.pool.tracer
 	if d.adws {
 		anchor := ent.lastGroup.Load()
 		if anchor == nil {
@@ -110,6 +114,9 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		if minDepth > md {
 			md = minDepth
 		}
+		// The steal range [Low, High] is inclusive; events carry it
+		// half-open as [Low, High+1).
+		srLo, srHi := float64(sr.Low), float64(sr.High)+1
 		tries := maxStealTries
 		if tries > nv {
 			tries = nv
@@ -117,6 +124,11 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		for a := 0; a < tries; a++ {
 			w.stealAttempts.Add(1)
 			v := sr.Victim(self, w.rng.Intn(nv))
+			if tr != nil {
+				tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
+					Self: int32(self), Victim: int32(v), Depth: int32(md),
+					RangeLo: srLo, RangeHi: srHi})
+			}
 			vp := d.physical(v)
 			if vp == ent.idx {
 				continue
@@ -125,6 +137,11 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			if sr.MigrationStealable(v) {
 				if t := ve.stealMigration(md); t != nil {
 					w.steals.Add(1)
+					if tr != nil {
+						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
+							Self: int32(self), Victim: int32(v), Depth: int32(md),
+							Task: t.seq, RangeLo: srLo, RangeHi: srHi})
+					}
 					rebase(t, self, d)
 					return t
 				}
@@ -132,10 +149,19 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			if sr.PrimaryStealable(v) {
 				if t := ve.stealPrimary(md); t != nil {
 					w.steals.Add(1)
+					if tr != nil {
+						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
+							Self: int32(self), Victim: int32(v), Depth: int32(md),
+							Task: t.seq, RangeLo: srLo, RangeHi: srHi})
+					}
 					rebase(t, self, d)
 					return t
 				}
 			}
+		}
+		if tr != nil {
+			tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),
+				Self: int32(self), Depth: int32(md), RangeLo: srLo, RangeHi: srHi})
 		}
 		return nil
 	}
@@ -149,10 +175,22 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		if v >= ent.idx {
 			v++
 		}
+		if tr != nil {
+			tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
+				Self: int32(ent.idx), Victim: int32(v)})
+		}
 		if t := d.entities[v].stealAny(); t != nil {
 			w.steals.Add(1)
+			if tr != nil {
+				tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
+					Self: int32(ent.idx), Victim: int32(v), Task: t.seq})
+			}
 			return t
 		}
+	}
+	if tr != nil && tries > 0 {
+		tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),
+			Self: int32(ent.idx)})
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/trace"
 )
 
 // GroupHint carries the programmer hints of the paper's Fig. 2b: the total
@@ -91,6 +92,10 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 	g.spawned++
 	g.remaining.Add(1)
 	t := &task{fn: fn, pg: g, dom: g.dom}
+	tr := g.pool.tracer
+	if tr != nil {
+		t.seq = g.pool.taskSeq.Add(1)
+	}
 
 	if !g.adws {
 		// Conventional help-first WS: push to the spawning entity's deque;
@@ -110,6 +115,11 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		ent := g.dom.entities[g.dom.physical(t.rng.Owner())]
 		t.ent = ent
 		t.inMigration = true
+		if tr != nil {
+			tr.Record(g.parent.w.id, trace.Event{Type: trace.EvMigration, Time: now(),
+				Self: int32(g.iExec), Victim: int32(t.rng.Owner()), Task: t.seq,
+				Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
+		}
 		ent.push(t, true)
 		g.parent.w.migrations.Add(1)
 		g.pool.broadcast()
@@ -134,6 +144,12 @@ func (tg *TaskGroup) Wait() {
 	c := g.parent
 	w := c.w
 	p := g.pool
+
+	tr := p.tracer
+	if tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvWaitEnter, Time: now(),
+			Task: c.cur.seq, Depth: int32(g.childDepth)})
+	}
 
 	if ec := g.execChild; ec != nil {
 		g.execChild = nil
@@ -172,6 +188,10 @@ func (tg *TaskGroup) Wait() {
 	}
 	if searchStart != 0 {
 		w.waitIdleNS.Add(now() - searchStart)
+	}
+	if tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvWaitExit, Time: now(),
+			Task: c.cur.seq, Depth: int32(g.childDepth)})
 	}
 
 	if g.node != nil {

@@ -3,7 +3,23 @@ package runtime
 import (
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
 )
+
+// traceBoundary records a multi-level boundary crossing (tie/flatten and
+// their teardowns) for worker w over domain d at cache level `level`.
+func (p *Pool) traceBoundary(w *worker, kind int32, d *domain, level int) {
+	tr := p.tracer
+	if tr == nil {
+		return
+	}
+	var id int64
+	if d != nil {
+		id = d.id
+	}
+	tr.Record(w.id, trace.Event{Type: trace.EvBoundary, Time: now(),
+		Victim: kind, Depth: int32(level), Task: id})
+}
 
 // initTopology builds the root domain and, for multi-level policies, the
 // per-cache state with the initial bottom-up leader election (§4.2).
@@ -119,6 +135,7 @@ func (p *Pool) tieLocked(w *worker, c *mlCache, g *taskGroup) (*domain, sched.Ra
 	mcw.leader = w.id
 	w.leads = mcw
 
+	p.traceBoundary(w, trace.BoundaryTie, d, c.cache.Level)
 	return d, d.fullRange(), d.entities[pos]
 }
 
@@ -148,6 +165,7 @@ func (p *Pool) flattenLocked(w *worker, caches []*topology.Cache, g *taskGroup) 
 		ww.fdMu.Unlock()
 	}
 	p.broadcast()
+	p.traceBoundary(w, trace.BoundaryFlatten, d, d.level)
 	return d, d.fullRange(), d.entities[pos]
 }
 
@@ -161,6 +179,7 @@ func (p *Pool) groupTeardown(g *taskGroup, w *worker) {
 		g.tiedTo = nil
 		c.tied = nil
 		if c.childDomain != nil {
+			p.traceBoundary(w, trace.BoundaryUntie, c.childDomain, c.cache.Level)
 			c.childDomain.closed.Store(true)
 			c.childDomain = nil
 		}
@@ -172,6 +191,7 @@ func (p *Pool) groupTeardown(g *taskGroup, w *worker) {
 	}
 	if d := g.flattened; d != nil {
 		g.flattened = nil
+		p.traceBoundary(w, trace.BoundaryUnflatten, d, d.level)
 		d.closed.Store(true)
 		// Participants drop their entities lazily in candidates().
 	}

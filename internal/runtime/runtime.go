@@ -25,6 +25,7 @@ import (
 
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
 )
 
 // Policy selects the scheduling algorithm.
@@ -74,6 +75,11 @@ type Config struct {
 	Seed uint64
 	// PinThreads locks each worker goroutine to an OS thread.
 	PinThreads bool
+	// Tracer, if non-nil, receives per-worker scheduler events (task
+	// spans, steals, migrations, waits, multi-level boundary crossings).
+	// It must have at least as many rings as the pool has workers. A nil
+	// Tracer costs one pointer check per event site.
+	Tracer *trace.Tracer
 }
 
 // Pool is a running worker pool.
@@ -81,6 +87,11 @@ type Pool struct {
 	cfg     Config
 	machine *topology.Machine
 	policy  Policy
+	// tracer is nil unless tracing was requested; every event site guards
+	// on that single pointer.
+	tracer *trace.Tracer
+	// taskSeq issues task creation ordinals, only when tracing.
+	taskSeq atomic.Int64
 
 	workers []*worker
 	rootDom *domain
@@ -122,6 +133,8 @@ type task struct {
 	depth       int
 	inMigration bool
 	crossWorker bool
+	// seq is the task's creation ordinal, assigned only when tracing.
+	seq int64
 }
 
 // taskGroup is a live task group created by Ctx.Group.
@@ -177,9 +190,13 @@ func NewPool(cfg Config) *Pool {
 	if cfg.Machine == nil {
 		cfg.Machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
 	}
-	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy}
+	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy, tracer: cfg.Tracer}
 	p.idleCond = sync.NewCond(&p.idleMu)
 	n := cfg.Machine.NumWorkers()
+	if p.tracer != nil && p.tracer.NumWorkers() < n {
+		panic(fmt.Sprintf("runtime: tracer has %d worker rings, pool needs %d",
+			p.tracer.NumWorkers(), n))
+	}
 	p.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
 		p.workers[i] = &worker{id: i, pool: p, rng: sched.NewRNG(cfg.Seed, i)}
@@ -222,9 +239,20 @@ func (p *Pool) Run(fn func(*Ctx)) {
 		ent: p.rootDom.entities[0],
 		rng: p.rootDom.fullRange(),
 	}
+	if p.tracer != nil {
+		root.seq = p.taskSeq.Add(1)
+	}
 	p.pendingRoot.Store(root)
 	p.broadcast()
 	<-done
+}
+
+// WorkerStats is one worker's scheduling counters.
+type WorkerStats struct {
+	Worker                                   int
+	Tasks, Steals, StealAttempts, Migrations int64
+	// BusyNS and IdleNS follow the same accounting as Stats.
+	BusyNS, IdleNS int64
 }
 
 // Stats aggregates per-worker counters.
@@ -235,19 +263,40 @@ type Stats struct {
 	// busy/idle profile; the nested execution of helping waits counts as
 	// busy for the innermost task only once).
 	BusyNS, IdleNS int64
+	// PerWorker breaks the aggregates down by worker, indexed by worker
+	// ID.
+	PerWorker []WorkerStats
+}
+
+// StealSuccessRate returns Steals/StealAttempts, or 0 with no attempts.
+func (s Stats) StealSuccessRate() float64 {
+	if s.StealAttempts == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.StealAttempts)
 }
 
 // Stats returns scheduling counters accumulated since pool creation.
 func (p *Pool) Stats() Stats {
-	var s Stats
-	for _, w := range p.workers {
-		s.Tasks += w.tasks.Load()
-		s.Steals += w.steals.Load()
-		s.StealAttempts += w.stealAttempts.Load()
-		s.Migrations += w.migrations.Load()
+	s := Stats{PerWorker: make([]WorkerStats, len(p.workers))}
+	for i, w := range p.workers {
 		wi := w.waitIdleNS.Load()
-		s.BusyNS += w.busyNS.Load() - wi
-		s.IdleNS += w.idleNS.Load() + wi
+		ws := WorkerStats{
+			Worker:        i,
+			Tasks:         w.tasks.Load(),
+			Steals:        w.steals.Load(),
+			StealAttempts: w.stealAttempts.Load(),
+			Migrations:    w.migrations.Load(),
+			BusyNS:        w.busyNS.Load() - wi,
+			IdleNS:        w.idleNS.Load() + wi,
+		}
+		s.PerWorker[i] = ws
+		s.Tasks += ws.Tasks
+		s.Steals += ws.Steals
+		s.StealAttempts += ws.StealAttempts
+		s.Migrations += ws.Migrations
+		s.BusyNS += ws.BusyNS
+		s.IdleNS += ws.IdleNS
 	}
 	return s
 }
@@ -361,8 +410,17 @@ func (w *worker) execute(t *task) {
 	if w.execDepth == 1 {
 		start = now()
 	}
+	tr := w.pool.tracer
+	if tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvTaskBegin, Time: now(),
+			Task: t.seq, Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
+	}
 	c := &Ctx{pool: w.pool, w: w, cur: t}
 	t.fn(c)
+	if tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvTaskEnd, Time: now(),
+			Task: t.seq, Depth: int32(t.depth)})
+	}
 	if w.execDepth == 1 {
 		w.busyNS.Add(now() - start)
 	}

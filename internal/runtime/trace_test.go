@@ -1,0 +1,168 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
+)
+
+// traceTree is a fork-join spawn tree driving all event kinds.
+func traceTree(c *Ctx, depth int, sz int64) {
+	if depth == 0 {
+		return
+	}
+	g := c.Group(GroupHint{Work: float64(int(1) << depth), Size: sz})
+	g.Spawn(1, func(c *Ctx) { traceTree(c, depth-1, sz/2) })
+	g.Spawn(1, func(c *Ctx) { traceTree(c, depth-1, sz/2) })
+	g.Wait()
+}
+
+// TestTraceMatchesStats verifies the acceptance criterion that the derived
+// trace summary and Pool.Stats report identical scheduling counters: both
+// are incremented at the same code sites, and the ring capacity here is
+// large enough that nothing is dropped.
+func TestTraceMatchesStats(t *testing.T) {
+	for _, pol := range testPolicies {
+		tr := trace.New(16, 1<<16)
+		p := NewPool(Config{
+			Machine: topology.TwoLevel16(),
+			Policy:  pol,
+			Seed:    42,
+			Tracer:  tr,
+		})
+		p.Run(func(c *Ctx) { traceTree(c, 8, 8<<20) })
+		p.Close() // quiesce workers before reading counters and rings
+
+		st := p.Stats()
+		sum := tr.Summarize()
+		if sum.Drops != 0 {
+			t.Fatalf("%v: %d events dropped; enlarge the test ring", pol, sum.Drops)
+		}
+		if sum.Tasks != st.Tasks {
+			t.Errorf("%v: trace tasks=%d stats tasks=%d", pol, sum.Tasks, st.Tasks)
+		}
+		if sum.Steals != st.Steals {
+			t.Errorf("%v: trace steals=%d stats steals=%d", pol, sum.Steals, st.Steals)
+		}
+		if sum.StealAttempts != st.StealAttempts {
+			t.Errorf("%v: trace attempts=%d stats attempts=%d", pol, sum.StealAttempts, st.StealAttempts)
+		}
+		if sum.Migrations != st.Migrations {
+			t.Errorf("%v: trace migrations=%d stats migrations=%d", pol, sum.Migrations, st.Migrations)
+		}
+		// Per-worker task counts must agree worker by worker.
+		for i, ws := range st.PerWorker {
+			if sum.PerWorker[i].Tasks != ws.Tasks {
+				t.Errorf("%v: worker %d trace tasks=%d stats tasks=%d",
+					pol, i, sum.PerWorker[i].Tasks, ws.Tasks)
+			}
+		}
+		// ADWS steals stay inside dominant-group ranges by construction.
+		if pol.isADWS() && sum.Steals > 0 && sum.DominantGroupHitRate() != 1 {
+			t.Errorf("%v: dominant-group hit rate = %v, want 1",
+				pol, sum.DominantGroupHitRate())
+		}
+	}
+}
+
+// TestPerWorkerStatsSumToAggregate pins the Stats.PerWorker satellite: the
+// breakdown must sum to the aggregates.
+func TestPerWorkerStatsSumToAggregate(t *testing.T) {
+	p := newTestPool(t, ADWS)
+	var sum int64
+	p.Run(func(c *Ctx) { treeSum(c, 0, 20000, &sum, 32<<20) })
+	st := p.Stats()
+	if len(st.PerWorker) != p.NumWorkers() {
+		t.Fatalf("PerWorker has %d entries, want %d", len(st.PerWorker), p.NumWorkers())
+	}
+	var tasks, steals, attempts, migrations int64
+	for _, w := range st.PerWorker {
+		tasks += w.Tasks
+		steals += w.Steals
+		attempts += w.StealAttempts
+		migrations += w.Migrations
+	}
+	if tasks != st.Tasks || steals != st.Steals || attempts != st.StealAttempts || migrations != st.Migrations {
+		t.Errorf("per-worker sums (%d,%d,%d,%d) != aggregates (%d,%d,%d,%d)",
+			tasks, steals, attempts, migrations,
+			st.Tasks, st.Steals, st.StealAttempts, st.Migrations)
+	}
+	if r := st.StealSuccessRate(); r < 0 || r > 1 {
+		t.Errorf("StealSuccessRate = %v out of [0,1]", r)
+	}
+}
+
+// beginOrder runs a traced single-worker SL-ADWS pool and returns the
+// task ordinals in begin order.
+func beginOrder(t *testing.T) []int64 {
+	t.Helper()
+	tr := trace.New(1, 1<<15)
+	p := NewPool(Config{
+		Machine: topology.Flat(1, 32<<20, 1<<20),
+		Policy:  ADWS,
+		Seed:    7,
+		Tracer:  tr,
+	})
+	p.Run(func(c *Ctx) { traceTree(c, 7, 16<<20) })
+	p.Close()
+	var order []int64
+	for _, ev := range tr.Events() {
+		if ev.Type == trace.EvTaskBegin {
+			order = append(order, ev.Task)
+		}
+	}
+	return order
+}
+
+// TestSingleWorkerBeginOrderDeterministic makes the paper's "almost
+// deterministic" property executable: under SL-ADWS with one worker there
+// is no steal randomness, so the traced task-begin order must be identical
+// across runs.
+func TestSingleWorkerBeginOrderDeterministic(t *testing.T) {
+	a := beginOrder(t)
+	b := beginOrder(t)
+	if len(a) == 0 {
+		t.Fatal("no task-begin events traced")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs traced %d vs %d begins", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("begin order diverges at %d: task %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRuntimeChromeTrace ensures a real-runtime trace renders as valid
+// Chrome trace JSON.
+func TestRuntimeChromeTrace(t *testing.T) {
+	tr := trace.New(16, 1<<14)
+	p := NewPool(Config{Machine: topology.TwoLevel16(), Policy: MLADWS, Seed: 3, Tracer: tr})
+	p.Run(func(c *Ctx) { traceTree(c, 6, 4<<20) })
+	p.Close()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+}
+
+// TestNilTracerZeroEvents double-checks the nil guard: no tracer, no seq
+// assignment, no panic.
+func TestNilTracerZeroEvents(t *testing.T) {
+	p := newTestPool(t, ADWS)
+	p.Run(func(c *Ctx) { traceTree(c, 5, 1<<20) })
+	if p.tracer != nil {
+		t.Fatal("pool unexpectedly has a tracer")
+	}
+	if p.taskSeq.Load() != 0 {
+		t.Errorf("taskSeq advanced to %d without tracing", p.taskSeq.Load())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
 )
 
 // Mode selects the scheduler under simulation.
@@ -74,6 +75,10 @@ type Config struct {
 	// task's per-run creation ordinal and the executing worker. Used to
 	// verify scheduling determinism across repetitions.
 	TraceExec func(taskOrdinal int64, worker int)
+	// Tracer, if non-nil, receives the same scheduler event schema the
+	// real runtime emits (internal/trace), with virtual timestamps scaled
+	// by 1000, so simulated and real runs of one program are diffable.
+	Tracer *trace.Tracer
 }
 
 type event struct {
@@ -191,6 +196,10 @@ func NewEngine(cfg Config) *Engine {
 	e.mem = NewMemory(cfg.Machine.NumNUMANodes(), cfg.NUMA)
 	e.hier = NewHierarchy(cfg.Machine, e.mem, &e.costs)
 	p := cfg.Machine.NumWorkers()
+	if cfg.Tracer != nil && cfg.Tracer.NumWorkers() < p {
+		panic(fmt.Sprintf("sim: tracer has %d worker rings, machine needs %d",
+			cfg.Tracer.NumWorkers(), p))
+	}
 	e.workers = make([]*worker, p)
 	for i := 0; i < p; i++ {
 		e.workers[i] = &worker{id: i, rng: sched.NewRNG(cfg.Seed, i)}
@@ -356,12 +365,24 @@ func (e *Engine) resetProfile() {
 	e.ties, e.flattens = 0, 0
 }
 
+// vt converts the current virtual time to a trace timestamp (×1000 keeps
+// the cost model's sub-unit resolution through the integer conversion).
+func (e *Engine) vt() int64 { return int64(e.now * 1000) }
+
+// ordinal returns t's per-run creation ordinal (the trace task identity).
+func (e *Engine) ordinal(t *Task) int64 { return t.id - e.runStartSeq }
+
 // step executes one step of w's current task.
 func (e *Engine) step(w *worker) {
 	t := w.current
 	if !t.built {
 		if e.cfg.TraceExec != nil {
 			e.cfg.TraceExec(t.id-e.runStartSeq, w.id)
+		}
+		if tr := e.cfg.Tracer; tr != nil {
+			tr.Record(w.id, trace.Event{Type: trace.EvTaskBegin, Time: e.vt(),
+				Task: e.ordinal(t), Depth: int32(t.depth),
+				RangeLo: t.rng.X, RangeHi: t.rng.Y})
 		}
 		b := &B{}
 		if t.body != nil {
@@ -393,6 +414,10 @@ func (e *Engine) complete(w *worker, t *Task) {
 	t.state = taskDone
 	w.current = nil
 	w.tasksRun++
+	if tr := e.cfg.Tracer; tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvTaskEnd, Time: e.vt(),
+			Task: e.ordinal(t), Depth: int32(t.depth)})
+	}
 	ag := t.parentGroup
 	if ag == nil {
 		// Root task of the run.
@@ -430,6 +455,10 @@ func (e *Engine) groupComplete(ag *activeGroup) {
 	p.state = taskReady
 	p.waitingOn = nil
 	ow := e.workers[p.execWorker]
+	if tr := e.cfg.Tracer; tr != nil {
+		tr.Record(ow.id, trace.Event{Type: trace.EvWaitExit, Time: e.vt(),
+			Task: e.ordinal(p), Depth: int32(p.depth)})
+	}
 	ow.resume = append(ow.resume, p)
 	e.wake(ow, e.now)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"github.com/parlab/adws/internal/sched"
+	"github.com/parlab/adws/internal/trace"
 )
 
 // maxBackoffPolls bounds the exponential idle backoff to IdlePoll << 6.
@@ -85,6 +86,7 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 	if n <= 1 {
 		return nil, false
 	}
+	tr := e.cfg.Tracer
 	if d.adws {
 		anchor := ent.lastGroup
 		if anchor == nil {
@@ -102,6 +104,8 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 		if nv <= 0 {
 			return nil, false
 		}
+		// Events carry the inclusive steal range [Low, High] half-open.
+		srLo, srHi := float64(sr.Low), float64(sr.High)+1
 		tries := e.cfg.MaxStealTries
 		if tries > nv {
 			tries = nv
@@ -110,6 +114,11 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 			*searched += e.costs.StealAttempt
 			w.stealAttempts++
 			v := sr.Victim(self, w.rng.Intn(nv))
+			if tr != nil {
+				tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: e.vt(),
+					Self: int32(self), Victim: int32(v), Depth: int32(sr.MinDepth),
+					RangeLo: srLo, RangeHi: srHi})
+			}
 			vp := d.physical(v)
 			if vp == ent.idx {
 				continue // cyclic wrap collided with ourselves
@@ -118,6 +127,11 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 			if sr.MigrationStealable(v) {
 				if t, ok := ve.queues.StealMigration(sr.MinDepth); ok {
 					w.steals++
+					if tr != nil {
+						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: e.vt(),
+							Self: int32(self), Victim: int32(v), Depth: int32(sr.MinDepth),
+							Task: e.ordinal(t), RangeLo: srLo, RangeHi: srHi})
+					}
 					e.rebase(t, self, d)
 					return t, true
 				}
@@ -125,10 +139,19 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 			if sr.PrimaryStealable(v) {
 				if t, ok := ve.queues.StealPrimary(sr.MinDepth); ok {
 					w.steals++
+					if tr != nil {
+						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: e.vt(),
+							Self: int32(self), Victim: int32(v), Depth: int32(sr.MinDepth),
+							Task: e.ordinal(t), RangeLo: srLo, RangeHi: srHi})
+					}
 					e.rebase(t, self, d)
 					return t, true
 				}
 			}
+		}
+		if tr != nil {
+			tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: e.vt(),
+				Self: int32(self), Depth: int32(sr.MinDepth), RangeLo: srLo, RangeHi: srHi})
 		}
 		return nil, false
 	}
@@ -144,10 +167,22 @@ func (e *Engine) trySteal(w *worker, ent *entity, searched *float64) (*Task, boo
 		if v >= ent.idx {
 			v++
 		}
+		if tr != nil {
+			tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: e.vt(),
+				Self: int32(ent.idx), Victim: int32(v)})
+		}
 		if t, ok := d.entities[v].queues.StealAny(); ok {
 			w.steals++
+			if tr != nil {
+				tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: e.vt(),
+					Self: int32(ent.idx), Victim: int32(v), Task: e.ordinal(t)})
+			}
 			return t, true
 		}
+	}
+	if tr != nil && tries > 0 {
+		tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: e.vt(),
+			Self: int32(ent.idx)})
 	}
 	return nil, false
 }

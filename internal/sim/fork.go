@@ -3,7 +3,22 @@ package sim
 import (
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
 )
+
+// traceBoundary mirrors the runtime's multi-level boundary events.
+func (e *Engine) traceBoundary(worker int, kind int32, d *domain, level int) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	var id int64
+	if d != nil {
+		id = int64(d.id)
+	}
+	tr.Record(worker, trace.Event{Type: trace.EvBoundary, Time: e.vt(),
+		Victim: kind, Depth: int32(level), Task: id})
+}
 
 // fork executes a task group step of task t on worker w: it applies the
 // multi-level tie/flatten decisions, spawns the children under the
@@ -48,6 +63,10 @@ func (e *Engine) fork(w *worker, t *Task, spec *GroupSpec) {
 	t.waitingOn = ag
 	ag.dom = dom
 	w.overheadTime += oh
+	if tr := e.cfg.Tracer; tr != nil {
+		tr.Record(w.id, trace.Event{Type: trace.EvWaitEnter, Time: e.vt(),
+			Task: e.ordinal(t), Depth: int32(t.depth)})
+	}
 	if inline != nil {
 		inline.state = taskRunning
 		inline.execWorker = w.id
@@ -114,6 +133,12 @@ func (e *Engine) spawnADWS(w *worker, t *Task, ag *activeGroup, dom *domain, par
 			ent := dom.entities[dom.physical(ranges[k].Owner())]
 			child.ent = ent
 			child.inMigrationQueue = true
+			if tr := e.cfg.Tracer; tr != nil {
+				tr.Record(w.id, trace.Event{Type: trace.EvMigration, Time: e.vt(),
+					Self: int32(iExec), Victim: int32(ranges[k].Owner()),
+					Task: e.ordinal(child), Depth: int32(childDepth),
+					RangeLo: ranges[k].X, RangeHi: ranges[k].Y})
+			}
 			ent.queues.PushMigration(childDepth, child)
 			*oh += e.costs.MigrateOverhead
 			w.migrationsOut++
@@ -249,6 +274,7 @@ func (e *Engine) tie(w *worker, c *mlCache, ag *activeGroup) (*domain, sched.Ran
 	mcw.leader = w.id
 	w.leads = mcw
 
+	e.traceBoundary(w.id, trace.BoundaryTie, d, c.cache.Level)
 	rng := d.fullRange()
 	return d, rng, d.entities[pos]
 }
@@ -259,6 +285,7 @@ func (e *Engine) untie(ag *activeGroup) {
 	c := ag.tiedTo
 	ag.tiedTo = nil
 	c.tied = nil
+	tornDown := c.childDomain
 	if c.childDomain != nil {
 		c.childDomain.closed = true
 		c.childDomain = nil
@@ -270,6 +297,7 @@ func (e *Engine) untie(ag *activeGroup) {
 	}
 	c.leader = wid
 	w.leads = c
+	e.traceBoundary(wid, trace.BoundaryUntie, tornDown, c.cache.Level)
 }
 
 // flatten creates a flattened leaf-level domain over the given leaf caches
@@ -299,6 +327,7 @@ func (e *Engine) flatten(w *worker, caches []*topology.Cache, ag *activeGroup) (
 	}
 	d.offset = pos
 	ag.flattened = d
+	e.traceBoundary(w.id, trace.BoundaryFlatten, d, d.level)
 	return d, d.fullRange(), d.entities[pos]
 }
 
@@ -307,6 +336,7 @@ func (e *Engine) unflatten(ag *activeGroup) {
 	d := ag.flattened
 	ag.flattened = nil
 	d.closed = true
+	e.traceBoundary(ag.parent.execWorker, trace.BoundaryUnflatten, d, d.level)
 	for _, ent := range d.entities {
 		w := e.workers[ent.worker]
 		for i, fe := range w.fdEnts {

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"github.com/parlab/adws/internal/trace"
 )
 
 // RunResult is the outcome of one simulated run, matching the paper's
@@ -79,12 +81,14 @@ func (r RunResult) Speedup(serialTime float64) float64 {
 	return serialTime / r.Time
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. The steal field uses the repo-wide
+// "steals=<successes>/<attempts>" form (trace.StealRatio), matching the
+// trace summary and cmd/adwsrun output.
 func (r RunResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: time=%.0f busy=%.0f idle=%.0f oh=%.0f L2miss=%d L3miss=%d steals=%d/%d tasks=%d",
+	fmt.Fprintf(&b, "%s: time=%.0f busy=%.0f idle=%.0f oh=%.0f L2miss=%d L3miss=%d %s tasks=%d",
 		r.Mode, r.Time, r.BusyTime, r.IdleTime, r.OverheadTime,
-		r.PrivateMisses, r.SharedMisses, r.Steals, r.StealAttempts, r.Tasks)
+		r.PrivateMisses, r.SharedMisses, trace.StealRatio(r.Steals, r.StealAttempts), r.Tasks)
 	if r.Ties+r.Flattens > 0 {
 		fmt.Fprintf(&b, " ties=%d flattens=%d", r.Ties, r.Flattens)
 	}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/parlab/adws/internal/topology"
+	"github.com/parlab/adws/internal/trace"
+)
+
+// tracedRun executes one balanced-tree run under mode with a tracer.
+func tracedRun(t *testing.T, mode Mode) (*trace.Tracer, RunResult) {
+	t.Helper()
+	m := topology.TwoLevel16()
+	tr := trace.New(m.NumWorkers(), 1<<16)
+	eng := NewEngine(Config{Machine: m, Mode: mode, Seed: 11, Tracer: tr})
+	seg := eng.Memory().Alloc("d", 8<<20)
+	res := eng.Run(balancedTree(seg, 7, 2000))
+	return tr, res
+}
+
+// TestSimTraceMatchesRunResult verifies the simulator emits the shared
+// event schema with counts identical to its own RunResult accounting (the
+// satellite unification: one set of names and meanings across RunResult,
+// trace.Summary, and the runtime's Stats).
+func TestSimTraceMatchesRunResult(t *testing.T) {
+	for _, mode := range []Mode{SLWS, SLADWS, MLWS, MLADWS} {
+		tr, res := tracedRun(t, mode)
+		sum := tr.Summarize()
+		if sum.Drops != 0 {
+			t.Fatalf("%v: %d events dropped", mode, sum.Drops)
+		}
+		if sum.Tasks != res.Tasks {
+			t.Errorf("%v: trace tasks=%d result tasks=%d", mode, sum.Tasks, res.Tasks)
+		}
+		if sum.Steals != res.Steals {
+			t.Errorf("%v: trace steals=%d result steals=%d", mode, sum.Steals, res.Steals)
+		}
+		if sum.StealAttempts != res.StealAttempts {
+			t.Errorf("%v: trace attempts=%d result attempts=%d", mode, sum.StealAttempts, res.StealAttempts)
+		}
+		if sum.Migrations != res.Migrations {
+			t.Errorf("%v: trace migrations=%d result migrations=%d", mode, sum.Migrations, res.Migrations)
+		}
+		if mode.IsMultiLevel() {
+			if sum.Ties != res.Ties || sum.Flattens != res.Flattens {
+				t.Errorf("%v: trace ties/flattens=%d/%d result=%d/%d",
+					mode, sum.Ties, sum.Flattens, res.Ties, res.Flattens)
+			}
+		}
+		if mode.IsADWS() && sum.Steals > 0 && sum.DominantGroupHitRate() != 1 {
+			t.Errorf("%v: dominant-group hit rate = %v, want 1", mode, sum.DominantGroupHitRate())
+		}
+	}
+}
+
+// TestSimChromeTrace renders a simulated run as Chrome trace JSON.
+func TestSimChromeTrace(t *testing.T) {
+	tr, _ := tracedRun(t, MLADWS)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+}
+
+// TestSimTraceDeterministic runs the same simulation twice and requires
+// byte-identical event streams — the simulator is fully deterministic, so
+// its traces are too.
+func TestSimTraceDeterministic(t *testing.T) {
+	a, _ := tracedRun(t, SLADWS)
+	b, _ := tracedRun(t, SLADWS)
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 || len(ea) != len(eb) {
+		t.Fatalf("event counts differ or empty: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Perfetto and chrome://tracing both consume it.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the tracer's events as Chrome trace-event JSON
+// with one track (tid) per worker. The tracer must be quiescent.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events(), t.NumWorkers())
+}
+
+// WriteChromeTrace renders events (as returned by Tracer.Events: merged and
+// time-sorted) for `workers` workers. Ring wraparound can orphan begin/end
+// pairs; unmatched ends are dropped and unmatched begins are closed at the
+// last timestamp, so the output always loads.
+func WriteChromeTrace(w io.Writer, events []Event, workers int) error {
+	out := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{
+		{Ph: "M", Name: "process_name", Pid: 0,
+			Args: map[string]any{"name": "adws scheduler"}},
+	}}
+	for i := 0; i < workers; i++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Ph: "M", Name: "thread_name", Pid: 0, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", i)},
+		})
+	}
+
+	var t0, tLast int64
+	if len(events) > 0 {
+		t0, tLast = events[0].Time, events[len(events)-1].Time
+	}
+	us := func(t int64) float64 { return float64(t-t0) / 1000 }
+
+	// open counts currently open B events per worker so wraparound-orphaned
+	// E events can be skipped and dangling B events closed at the end.
+	open := make([]int, workers)
+	for _, ev := range events {
+		tid := int(ev.Worker)
+		ce := chromeEvent{Ts: us(ev.Time), Pid: 0, Tid: tid}
+		switch ev.Type {
+		case EvTaskBegin:
+			ce.Ph, ce.Cat = "B", "task"
+			ce.Name = fmt.Sprintf("task %d", ev.Task)
+			ce.Args = map[string]any{"depth": ev.Depth}
+			if ev.RangeHi > ev.RangeLo {
+				ce.Args["range"] = rangeString(ev.RangeLo, ev.RangeHi)
+			}
+			open[tid]++
+		case EvWaitEnter:
+			ce.Ph, ce.Cat, ce.Name = "B", "wait", "wait"
+			ce.Args = map[string]any{"task": ev.Task, "depth": ev.Depth}
+			open[tid]++
+		case EvTaskEnd, EvWaitExit:
+			if open[tid] == 0 {
+				continue // begin lost to wraparound
+			}
+			open[tid]--
+			ce.Ph = "E"
+		case EvStealAttempt, EvStealSuccess, EvStealFail:
+			ce.Ph, ce.Cat, ce.S = "i", "steal", "t"
+			ce.Name = ev.Type.String()
+			ce.Args = map[string]any{"self": ev.Self}
+			if ev.Type != EvStealFail {
+				ce.Args["victim"] = ev.Victim
+			}
+			if ev.Type == EvStealSuccess {
+				ce.Args["task"] = ev.Task
+			}
+			if ev.RangeHi > ev.RangeLo {
+				ce.Args["stealRange"] = rangeString(ev.RangeLo, ev.RangeHi)
+			}
+		case EvMigration:
+			ce.Ph, ce.Cat, ce.S = "i", "migration", "t"
+			ce.Name = "migrate"
+			ce.Args = map[string]any{"self": ev.Self, "to": ev.Victim, "task": ev.Task}
+		case EvBoundary:
+			ce.Ph, ce.Cat, ce.S = "i", "ml", "t"
+			ce.Name = BoundaryKindString(ev.Victim)
+			ce.Args = map[string]any{"level": ev.Depth, "domain": ev.Task}
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	// Close spans whose end was not recorded (wraparound or a still-open
+	// root at snapshot time).
+	for tid := 0; tid < workers; tid++ {
+		for ; open[tid] > 0; open[tid]-- {
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Ph: "E", Ts: us(tLast), Pid: 0, Tid: tid})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func rangeString(lo, hi float64) string { return fmt.Sprintf("[%.3f,%.3f)", lo, hi) }

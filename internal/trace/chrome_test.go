@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a small deterministic trace exercising every event kind,
+// including a wraparound-orphaned end (worker 1's stray EvTaskEnd) and an
+// unclosed begin (worker 0's wait).
+func goldenEvents() []Event {
+	tr := New(2, 64)
+	tr.Record(0, Event{Type: EvTaskBegin, Time: 1000, Task: 1, Depth: 0, RangeLo: 0, RangeHi: 2})
+	tr.Record(0, Event{Type: EvWaitEnter, Time: 2000, Task: 1, Depth: 1})
+	tr.Record(1, Event{Type: EvTaskEnd, Time: 2500, Task: 99}) // orphaned end
+	tr.Record(1, Event{Type: EvStealAttempt, Time: 3000, Self: 1, Victim: 0, RangeLo: 0, RangeHi: 2})
+	tr.Record(1, Event{Type: EvStealSuccess, Time: 3500, Self: 1, Victim: 0, Task: 2, RangeLo: 0, RangeHi: 2})
+	tr.Record(1, Event{Type: EvTaskBegin, Time: 4000, Task: 2, Depth: 1, RangeLo: 1, RangeHi: 1.5})
+	tr.Record(0, Event{Type: EvMigration, Time: 4200, Self: 0, Victim: 1, Task: 3})
+	tr.Record(0, Event{Type: EvBoundary, Time: 4300, Victim: BoundaryFlatten, Depth: 2, Task: 5})
+	tr.Record(1, Event{Type: EvStealFail, Time: 4400, Self: 1, RangeLo: 0, RangeHi: 2})
+	tr.Record(1, Event{Type: EvTaskEnd, Time: 5000, Task: 2, Depth: 1})
+	return tr.Events()
+}
+
+// TestChromeTraceValidJSON decodes the exporter's output and checks the
+// structural invariants Perfetto needs: valid JSON, one named track per
+// worker, balanced B/E per track.
+func TestChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if f.Unit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", f.Unit)
+	}
+	threads := map[float64]bool{}
+	open := map[float64]int{}
+	for _, ev := range f.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		tid, _ := ev["tid"].(float64)
+		switch ph {
+		case "M":
+			if ev["name"] == "thread_name" {
+				threads[tid] = true
+			}
+		case "B":
+			open[tid]++
+		case "E":
+			open[tid]--
+			if open[tid] < 0 {
+				t.Fatalf("unbalanced E on tid %v", tid)
+			}
+		}
+	}
+	if !threads[0] || !threads[1] {
+		t.Errorf("missing thread_name metadata: %v", threads)
+	}
+	for tid, n := range open {
+		if n != 0 {
+			t.Errorf("tid %v has %d unclosed spans", tid, n)
+		}
+	}
+}
+
+// TestChromeTraceGolden pins the exact exporter output. Regenerate with
+// `go test ./internal/trace -run Golden -update` after intentional format
+// changes.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s\ngot:  %s\nwant: %s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceEmpty ensures an event-free tracer still produces a
+// loadable file.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(3, 4).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}

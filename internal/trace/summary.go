@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorkerSummary is one worker's share of the derived metrics.
+type WorkerSummary struct {
+	Worker        int
+	Tasks         int64
+	Steals        int64
+	StealAttempts int64
+	Migrations    int64
+	// WaitCount and WaitTime aggregate group waits entered by tasks on
+	// this worker (time in Event.Time units).
+	WaitCount int64
+	WaitTime  int64
+}
+
+// Summary is the derived-metrics view of a trace: per-worker task counts,
+// steal statistics with distance histogram, dominant-group hit rate, and
+// wait-time breakdowns.
+type Summary struct {
+	PerWorker []WorkerSummary
+
+	// Aggregates over all workers. Steals/StealAttempts/Migrations use the
+	// same names and meaning as runtime.Stats and sim.RunResult.
+	Tasks         int64
+	Steals        int64
+	StealAttempts int64
+	StealFails    int64 // failed steal rounds (not failed probes)
+	Migrations    int64
+	WaitCount     int64
+	WaitTime      int64
+
+	// StealDistance[d] counts successful steals whose victim was d logical
+	// entities away from the thief.
+	StealDistance []int64
+	// DominantHits counts successful steals whose victim lay inside the
+	// recorded dominant-group steal range; DominantMisses the rest (all
+	// WS-domain steals, which carry no range). Their ratio is the
+	// dominant-group hit rate.
+	DominantHits, DominantMisses int64
+
+	// Ties, Flattens, Unties, Unflattens count multi-level boundary
+	// crossings.
+	Ties, Flattens, Unties, Unflattens int64
+
+	// Drops is the number of events lost to ring wraparound; when nonzero
+	// the other counts undercount the run.
+	Drops int64
+}
+
+// Summarize derives metrics from the tracer's surviving events.
+func (t *Tracer) Summarize() Summary {
+	s := Summarize(t.Events(), t.NumWorkers())
+	s.Drops = t.Drops()
+	return s
+}
+
+// Summarize derives metrics from events (merged and time-sorted, as
+// returned by Tracer.Events) over `workers` workers.
+func Summarize(events []Event, workers int) Summary {
+	s := Summary{PerWorker: make([]WorkerSummary, workers)}
+	for i := range s.PerWorker {
+		s.PerWorker[i].Worker = i
+	}
+	// waitStart tracks the open wait per waiting task ordinal (a task's
+	// groups are sequential, so one slot per task suffices).
+	waitStart := make(map[int64]int64)
+	for _, ev := range events {
+		if int(ev.Worker) >= workers || ev.Worker < 0 {
+			continue
+		}
+		w := &s.PerWorker[ev.Worker]
+		switch ev.Type {
+		case EvTaskBegin:
+			w.Tasks++
+			s.Tasks++
+		case EvStealAttempt:
+			w.StealAttempts++
+			s.StealAttempts++
+		case EvStealSuccess:
+			w.Steals++
+			s.Steals++
+			d := int(ev.Victim - ev.Self)
+			if d < 0 {
+				d = -d
+			}
+			for len(s.StealDistance) <= d {
+				s.StealDistance = append(s.StealDistance, 0)
+			}
+			s.StealDistance[d]++
+			if ev.RangeHi > ev.RangeLo &&
+				float64(ev.Victim) >= ev.RangeLo && float64(ev.Victim) < ev.RangeHi {
+				s.DominantHits++
+			} else {
+				s.DominantMisses++
+			}
+		case EvStealFail:
+			s.StealFails++
+		case EvMigration:
+			w.Migrations++
+			s.Migrations++
+		case EvWaitEnter:
+			waitStart[ev.Task] = ev.Time
+		case EvWaitExit:
+			if t0, ok := waitStart[ev.Task]; ok {
+				delete(waitStart, ev.Task)
+				w.WaitCount++
+				w.WaitTime += ev.Time - t0
+				s.WaitCount++
+				s.WaitTime += ev.Time - t0
+			}
+		case EvBoundary:
+			switch ev.Victim {
+			case BoundaryTie:
+				s.Ties++
+			case BoundaryFlatten:
+				s.Flattens++
+			case BoundaryUntie:
+				s.Unties++
+			case BoundaryUnflatten:
+				s.Unflattens++
+			}
+		}
+	}
+	return s
+}
+
+// StealSuccessRate returns Steals/StealAttempts, or 0 with no attempts.
+func (s Summary) StealSuccessRate() float64 {
+	if s.StealAttempts == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.StealAttempts)
+}
+
+// DominantGroupHitRate returns the fraction of successful steals that
+// stayed inside a dominant-group steal range (1.0 under pure ADWS
+// stealing, 0.0 under conventional random stealing), or 0 with no steals.
+func (s Summary) DominantGroupHitRate() float64 {
+	if s.DominantHits+s.DominantMisses == 0 {
+		return 0
+	}
+	return float64(s.DominantHits) / float64(s.DominantHits+s.DominantMisses)
+}
+
+// StealRatio formats successful/attempted steals the way every reporting
+// surface of this repo prints them (Summary.String, sim.RunResult.String,
+// cmd/adwsrun): "steals=<successes>/<attempts>".
+func StealRatio(steals, attempts int64) string {
+	return fmt.Sprintf("steals=%d/%d", steals, attempts)
+}
+
+// String renders a multi-line human-readable report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: tasks=%d %s (%.1f%% success) migrations=%d drops=%d\n",
+		s.Tasks, StealRatio(s.Steals, s.StealAttempts), 100*s.StealSuccessRate(), s.Migrations, s.Drops)
+	fmt.Fprintf(&b, "  dominant-group hit rate: %.2f (%d/%d)\n",
+		s.DominantGroupHitRate(), s.DominantHits, s.DominantHits+s.DominantMisses)
+	fmt.Fprintf(&b, "  waits: count=%d time=%d\n", s.WaitCount, s.WaitTime)
+	if len(s.StealDistance) > 0 {
+		fmt.Fprintf(&b, "  steal distance:")
+		for d, n := range s.StealDistance {
+			if n > 0 {
+				fmt.Fprintf(&b, " %d:%d", d, n)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	if s.Ties+s.Flattens+s.Unties+s.Unflattens > 0 {
+		fmt.Fprintf(&b, "  boundaries: ties=%d flattens=%d unties=%d unflattens=%d\n",
+			s.Ties, s.Flattens, s.Unties, s.Unflattens)
+	}
+	fmt.Fprintf(&b, "  per-worker tasks:")
+	for _, w := range s.PerWorker {
+		fmt.Fprintf(&b, " %d", w.Tasks)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package trace is a low-overhead scheduler event tracer shared by the
+// real runtime (internal/runtime) and the discrete-event simulator
+// (internal/sim). Both emit the same event schema, so a simulated run and
+// a real run of the same program are directly diffable.
+//
+// Each worker owns a fixed-capacity ring buffer. Recording takes no locks:
+// the worker writes the next slot and advances one atomic cursor. When the
+// ring wraps, the oldest events are overwritten; the number of overwritten
+// events is exposed as a monotonically increasing drop counter. Readers
+// (Events, WriteChromeTrace, Summarize) must only run while the traced
+// pool or engine is quiescent — after Run returned and, for the real
+// runtime, typically after Close.
+//
+// Timestamps are monotonic nanoseconds in the real runtime. The simulator
+// records virtual time scaled by 1000 (millivirtual units) so sub-unit
+// cost-model resolution survives the integer conversion.
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// EventType identifies one kind of scheduler event.
+type EventType uint8
+
+const (
+	// EvTaskBegin marks a task starting execution on a worker. Task is the
+	// task's creation ordinal, Depth the group depth, RangeLo/RangeHi the
+	// task's distribution range (ADWS; zero for WS tasks).
+	EvTaskBegin EventType = iota
+	// EvTaskEnd marks the matching completion of EvTaskBegin.
+	EvTaskEnd
+	// EvStealAttempt marks one victim probe. Self and Victim are logical
+	// entity indices; RangeLo/RangeHi the dominant-group steal range in
+	// effect ([lo,hi), zero-width for WS domains); Depth the minimum
+	// stealable depth.
+	EvStealAttempt
+	// EvStealSuccess marks a probe that yielded a task (Task is the stolen
+	// task's ordinal). It always follows an EvStealAttempt for the same
+	// victim.
+	EvStealSuccess
+	// EvStealFail marks a whole steal round (up to maxStealTries probes on
+	// one entity) that found nothing.
+	EvStealFail
+	// EvMigration marks an ADWS deterministic task migration at spawn
+	// time: Self is the spawning entity, Victim the destination entity,
+	// Task the migrated task's ordinal, RangeLo/RangeHi its range.
+	EvMigration
+	// EvWaitEnter marks a task entering a task-group wait (Task is the
+	// waiting task's ordinal, Depth the children's group depth).
+	EvWaitEnter
+	// EvWaitExit marks the matching wait completion.
+	EvWaitExit
+	// EvBoundary marks a multi-level scheduling boundary crossing: a group
+	// tied to a cache, a cache-hierarchy flattening, or their teardown.
+	// Victim holds the BoundaryKind, Depth the cache level, Task the
+	// domain id involved.
+	EvBoundary
+
+	numEventTypes = iota
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EvTaskBegin:
+		return "task-begin"
+	case EvTaskEnd:
+		return "task-end"
+	case EvStealAttempt:
+		return "steal-attempt"
+	case EvStealSuccess:
+		return "steal-success"
+	case EvStealFail:
+		return "steal-fail"
+	case EvMigration:
+		return "migration"
+	case EvWaitEnter:
+		return "wait-enter"
+	case EvWaitExit:
+		return "wait-exit"
+	case EvBoundary:
+		return "boundary"
+	default:
+		return "unknown"
+	}
+}
+
+// Boundary kinds, recorded in Event.Victim of EvBoundary events.
+const (
+	BoundaryTie int32 = iota
+	BoundaryFlatten
+	BoundaryUntie
+	BoundaryUnflatten
+)
+
+// BoundaryKindString names a boundary kind.
+func BoundaryKindString(k int32) string {
+	switch k {
+	case BoundaryTie:
+		return "tie"
+	case BoundaryFlatten:
+		return "flatten"
+	case BoundaryUntie:
+		return "untie"
+	case BoundaryUnflatten:
+		return "unflatten"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduler event. Field meaning depends on Type (see the
+// EventType constants); unused fields are zero.
+type Event struct {
+	Type EventType
+	// Worker is the recording worker; Record fills it in.
+	Worker int32
+	// Self and Victim are logical entity indices (steal and migration
+	// events); Victim doubles as the BoundaryKind of EvBoundary events.
+	Self, Victim int32
+	// Depth is the task/group depth, the minimum stealable depth of steal
+	// events, or the cache level of EvBoundary events.
+	Depth int32
+	// Time is the event timestamp: monotonic nanoseconds (real runtime) or
+	// virtual time ×1000 (simulator).
+	Time int64
+	// Task is the task ordinal, or the domain id for EvBoundary events.
+	Task int64
+	// RangeLo and RangeHi carry the distribution or steal range [lo, hi).
+	RangeLo, RangeHi float64
+}
+
+// ring is one worker's event buffer. Only the owning worker writes;
+// cursor counts every event ever recorded, so the occupied window is
+// [max(0, cursor-cap), cursor).
+type ring struct {
+	buf    []Event
+	cursor atomic.Int64
+	// _pad spaces cursors apart so concurrent workers do not share a
+	// cache line through the rings slice.
+	_pad [48]byte //nolint:unused
+}
+
+func (r *ring) record(ev Event) {
+	c := r.cursor.Load()
+	r.buf[c%int64(len(r.buf))] = ev
+	r.cursor.Store(c + 1)
+}
+
+func (r *ring) drops() int64 {
+	if d := r.cursor.Load() - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// snapshot returns the ring's surviving events, oldest first.
+func (r *ring) snapshot() []Event {
+	c := r.cursor.Load()
+	n := int64(len(r.buf))
+	start := int64(0)
+	if c > n {
+		start = c - n
+	}
+	out := make([]Event, 0, c-start)
+	for i := start; i < c; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// DefaultCapacity is the per-worker ring capacity used when none is given.
+const DefaultCapacity = 1 << 18
+
+// Tracer records scheduler events into per-worker ring buffers.
+type Tracer struct {
+	rings []ring
+}
+
+// New creates a tracer for `workers` workers with `capacity` events per
+// worker (DefaultCapacity if capacity <= 0).
+func New(workers, capacity int) *Tracer {
+	if workers <= 0 {
+		panic("trace: worker count must be positive")
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{rings: make([]ring, workers)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]Event, capacity)
+	}
+	return t
+}
+
+// NumWorkers returns the number of per-worker rings.
+func (t *Tracer) NumWorkers() int { return len(t.rings) }
+
+// Capacity returns the per-worker ring capacity.
+func (t *Tracer) Capacity() int { return len(t.rings[0].buf) }
+
+// Record appends an event to worker w's ring, overwriting the oldest event
+// when full. It is the hot path: no locks, one atomic cursor update. Only
+// worker w's own goroutine may call Record(w, ...).
+func (t *Tracer) Record(w int, ev Event) {
+	ev.Worker = int32(w)
+	t.rings[w].record(ev)
+}
+
+// Drops returns the total number of events overwritten by ring wraparound
+// across all workers. It only grows.
+func (t *Tracer) Drops() int64 {
+	var d int64
+	for i := range t.rings {
+		d += t.rings[i].drops()
+	}
+	return d
+}
+
+// WorkerDrops returns worker w's overwritten-event count.
+func (t *Tracer) WorkerDrops(w int) int64 { return t.rings[w].drops() }
+
+// Reset discards all recorded events and drop counts.
+func (t *Tracer) Reset() {
+	for i := range t.rings {
+		t.rings[i].cursor.Store(0)
+	}
+}
+
+// Events returns every surviving event merged across workers, sorted by
+// timestamp (stable: each worker's own order is preserved). The tracer
+// must be quiescent.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for i := range t.rings {
+		out = append(out, t.rings[i].snapshot()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

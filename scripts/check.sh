@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh — the repo's one-stop verification gate.
+#
+# Runs, in order:
+#   1. go vet ./...                                  static checks
+#   2. go build ./...                                everything compiles
+#   3. go test ./...                                 full test suite
+#   4. go test -race internal/runtime + internal/trace
+#      The runtime's lock-free deques and the tracer's per-worker ring
+#      buffers are the two places where a data race would silently
+#      corrupt results; the race detector is the authority on both.
+#
+# Usage: scripts/check.sh   (from the repo root, or anywhere inside it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/runtime/... ./internal/trace/..."
+go test -race ./internal/runtime/... ./internal/trace/...
+
+echo "OK: all checks passed"
