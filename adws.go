@@ -27,10 +27,12 @@
 package adws
 
 import (
+	"context"
 	"fmt"
 	gort "runtime"
 
 	"github.com/parlab/adws/internal/runtime"
+	"github.com/parlab/adws/internal/server"
 	"github.com/parlab/adws/internal/topology"
 	"github.com/parlab/adws/internal/trace"
 )
@@ -79,6 +81,42 @@ type TraceEvent = trace.Event
 // TraceSummary is the derived-metrics view of a trace.
 type TraceSummary = trace.Summary
 
+// JobHint carries per-job admission and placement hints: relative work
+// against the other in-flight jobs, working-set size in bytes, and an
+// optional queue deadline. See Pool.Submit.
+type JobHint = server.Hint
+
+// Job is one submitted root computation with its own lifecycle: Wait,
+// Err, Cancel, State, and per-job scheduling Stats.
+type Job = server.Job
+
+// JobStats is a job's scheduling profile: queue/run timing, the worker
+// fraction it was placed on, and its slice of the steal/migration
+// counters.
+type JobStats = server.Stats
+
+// JobState is a job's lifecycle state.
+type JobState = server.State
+
+// Job lifecycle states.
+const (
+	JobQueued   = server.Queued
+	JobRunning  = server.Running
+	JobDone     = server.Done
+	JobFailed   = server.Failed
+	JobCanceled = server.Canceled
+)
+
+// Admission-control errors returned by Pool.Submit.
+var (
+	// ErrOverloaded is the fast-reject: the admission queue is full.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDraining rejects submissions while Pool.Drain is in progress.
+	ErrDraining = server.ErrDraining
+	// ErrPoolClosed rejects submissions after Pool.Close.
+	ErrPoolClosed = server.ErrClosed
+)
+
 // CacheLevel describes one level of a machine's cache hierarchy, from the
 // outermost shared caches to the innermost private ones.
 type CacheLevel struct {
@@ -90,12 +128,14 @@ type CacheLevel struct {
 }
 
 type config struct {
-	scheduler  Scheduler
-	machine    *topology.Machine
-	seed       uint64
-	pinThreads bool
-	traceCap   int
-	err        error
+	scheduler   Scheduler
+	machine     *topology.Machine
+	seed        uint64
+	pinThreads  bool
+	traceCap    int
+	maxInFlight int
+	maxQueue    int
+	err         error
 }
 
 // Option configures NewPool.
@@ -162,11 +202,28 @@ func WithTracing(eventsPerWorker int) Option {
 	}
 }
 
+// WithAdmission configures the job-serving admission control: the maximum
+// number of concurrently running jobs and the depth of the FIFO admission
+// queue beyond which Submit fast-rejects with ErrOverloaded. Zero values
+// keep the defaults (one running job per worker; queue 4× that).
+func WithAdmission(maxInFlight, maxQueue int) Option {
+	return func(c *config) {
+		if maxInFlight < 0 || maxQueue < 0 {
+			c.err = fmt.Errorf("adws: admission limits (%d, %d) must not be negative",
+				maxInFlight, maxQueue)
+			return
+		}
+		c.maxInFlight = maxInFlight
+		c.maxQueue = maxQueue
+	}
+}
+
 // Pool is a running worker pool. Create one per process (or per disjoint
 // machine partition), reuse it across computations, and Close it when
 // done.
 type Pool struct {
 	p      *runtime.Pool
+	srv    *server.Server
 	tracer *trace.Tracer
 }
 
@@ -194,13 +251,50 @@ func NewPool(opts ...Option) (*Pool, error) {
 		PinThreads: cfg.pinThreads,
 		Tracer:     tr,
 	})
-	return &Pool{p: p, tracer: tr}, nil
+	srv := server.New(p, server.Config{MaxInFlight: cfg.maxInFlight, MaxQueue: cfg.maxQueue})
+	return &Pool{p: p, srv: srv, tracer: tr}, nil
 }
 
 // Run executes fn as the root task and blocks until every transitively
-// spawned and awaited task completes. Only one Run may be active at a
-// time.
+// spawned and awaited task completes. Concurrent Run calls are safe but
+// serialize, each executing over the whole pool; use Submit to serve
+// independent computations concurrently. Run panics if the pool is
+// closed.
 func (p *Pool) Run(fn func(*Ctx)) { p.p.Run(fn) }
+
+// Submit admits fn as a new job on the pool's job-serving layer and
+// returns without waiting. Submission is goroutine-safe: many clients may
+// share one pool. Jobs pass a bounded FIFO admission queue (ErrOverloaded
+// fast-reject when full, ErrDraining during Drain, ErrPoolClosed after
+// Close; see WithAdmission) and are placed as root task groups on a
+// worker sub-range divided among the in-flight jobs in proportion to
+// their Work hints — the same hint-guided division ADWS applies to
+// sibling tasks. fn's returned error (or recovered panic) becomes
+// Job.Err; ctx and the hint deadline cancel the job while it waits in
+// the queue (running jobs are not preempted — bodies may watch
+// Job.Context to stop cooperatively).
+//
+// A single in-flight job over the full pool schedules exactly like Run;
+// see docs/SERVER.md for the determinism caveat under concurrent jobs.
+func (p *Pool) Submit(ctx context.Context, fn func(*Ctx) error, h JobHint) (*Job, error) {
+	return p.srv.Submit(ctx, fn, h)
+}
+
+// Drain stops admitting jobs and waits until every queued and running
+// job completed, or ctx is done. Call it before Close for a graceful
+// shutdown.
+func (p *Pool) Drain(ctx context.Context) error { return p.srv.Drain(ctx) }
+
+// Job returns a submitted job by ID, if still retained (terminal jobs are
+// kept up to a bounded history).
+func (p *Pool) Job(id int64) (*Job, bool) { return p.srv.Job(id) }
+
+// Jobs returns the retained jobs in submission order.
+func (p *Pool) Jobs() []*Job { return p.srv.Jobs() }
+
+// InFlight returns the current admission queue depth and running-job
+// count.
+func (p *Pool) InFlight() (queued, running int) { return p.srv.InFlight() }
 
 // NumWorkers returns the pool size.
 func (p *Pool) NumWorkers() int { return p.p.NumWorkers() }
@@ -216,5 +310,10 @@ func (p *Pool) Stats() Stats { return p.p.Stats() }
 // is active.
 func (p *Pool) Tracer() *Tracer { return p.tracer }
 
-// Close stops the workers. Outstanding Runs must have completed.
-func (p *Pool) Close() { p.p.Close() }
+// Close stops admission and the workers. Outstanding Runs and jobs must
+// have completed (Drain first for a graceful shutdown); Run and Submit
+// after Close panic and error respectively.
+func (p *Pool) Close() {
+	p.srv.Close()
+	p.p.Close()
+}

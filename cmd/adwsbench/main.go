@@ -24,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,13 +41,14 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "table1, 16, 17, 18, 19, 20, 21, auto, or all")
+		figure  = flag.String("figure", "all", "table1, 16, 17, 18, 19, 20, 21, auto, all, or run (one traced simulation)")
 		bench   = flag.String("bench", "", "comma-separated benchmark filter (rrm,quicksort,kdtree,dtree,matmul,heat2d,sph)")
 		machine = flag.String("machine", "oakbridge", "oakbridge, twolevel16, or threelevel64")
 		sizes   = flag.String("sizes", "", "comma-separated working-set factors of the aggregate shared capacity (default 0.125..16)")
 		reps    = flag.Int("reps", 2, "repetitions per point (last, warm one measured)")
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+		jsonOut = flag.String("json", "", "also write machine-readable JSON to this file (- for stdout)")
 
 		traceOut = flag.String("trace", "", "run one traced simulation and write Chrome trace-event JSON (open in Perfetto)")
 		traceSum = flag.Bool("tracesummary", false, "run one traced simulation and print derived trace metrics")
@@ -78,8 +80,8 @@ func main() {
 		}
 	}
 
-	if *traceOut != "" || *traceSum {
-		runTraced(opts, *mode, *traceOut, *traceSum)
+	if *traceOut != "" || *traceSum || *figure == "run" {
+		runTraced(opts, *mode, *traceOut, *traceSum, *jsonOut)
 		return
 	}
 
@@ -114,6 +116,13 @@ func main() {
 		fatalf("unknown figure %q", *figure)
 	}
 
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, map[string]any{
+			"machine": *machine,
+			"workers": opts.Machine.NumWorkers(),
+			"figures": figs,
+		})
+	}
 	for _, f := range figs {
 		f.Render(os.Stdout)
 		if *csvDir != "" {
@@ -134,11 +143,42 @@ func main() {
 	}
 }
 
+// jsonResult is the machine-readable form of one traced simulation:
+// timing, steal and locality counters, flat for jq-style consumption.
+type jsonResult struct {
+	Bench   string  `json:"bench"`
+	Mode    string  `json:"mode"`
+	Machine string  `json:"machine,omitempty"`
+	Workers int     `json:"workers"`
+	Seed    uint64  `json:"seed"`
+	Time    float64 `json:"time"`
+
+	BusyTime     float64 `json:"busy_time"`
+	IdleTime     float64 `json:"idle_time"`
+	OverheadTime float64 `json:"overhead_time"`
+
+	Tasks         int64 `json:"tasks"`
+	Steals        int64 `json:"steals"`
+	StealAttempts int64 `json:"steal_attempts"`
+	Migrations    int64 `json:"migrations"`
+	Ties          int64 `json:"ties"`
+	Flattens      int64 `json:"flattens"`
+
+	PrivateMisses  int64   `json:"private_misses"`
+	SharedMisses   int64   `json:"shared_misses"`
+	Accesses       int64   `json:"accesses"`
+	RemoteAccesses int64   `json:"remote_accesses"`
+	RemoteFraction float64 `json:"remote_fraction"`
+
+	DominantHitRate float64 `json:"dominant_hit_rate"`
+	DroppedEvents   int64   `json:"dropped_events"`
+}
+
 // runTraced executes one simulation of the selected benchmark with the
 // scheduler event tracer attached, then writes the Chrome trace and/or
-// prints the derived metrics next to the RunResult line (both use the
-// shared "steals=<successes>/<attempts>" form).
-func runTraced(opts figures.Options, modeStr, out string, printSummary bool) {
+// JSON result and/or prints the derived metrics next to the RunResult
+// line (text forms share the "steals=<successes>/<attempts>" notation).
+func runTraced(opts figures.Options, modeStr, out string, printSummary bool, jsonOut string) {
 	var m sim.Mode
 	switch modeStr {
 	case "sl-ws":
@@ -178,6 +218,35 @@ func runTraced(opts figures.Options, modeStr, out string, printSummary bool) {
 	if printSummary {
 		fmt.Print(tr.Summarize().String())
 	}
+	if jsonOut != "" {
+		var remoteFrac float64
+		if res.Accesses > 0 {
+			remoteFrac = float64(res.RemoteAccesses) / float64(res.Accesses)
+		}
+		writeJSON(jsonOut, jsonResult{
+			Bench:           bench,
+			Mode:            modeStr,
+			Workers:         res.Workers,
+			Seed:            seed,
+			Time:            res.Time,
+			BusyTime:        res.BusyTime,
+			IdleTime:        res.IdleTime,
+			OverheadTime:    res.OverheadTime,
+			Tasks:           res.Tasks,
+			Steals:          res.Steals,
+			StealAttempts:   res.StealAttempts,
+			Migrations:      res.Migrations,
+			Ties:            res.Ties,
+			Flattens:        res.Flattens,
+			PrivateMisses:   res.PrivateMisses,
+			SharedMisses:    res.SharedMisses,
+			Accesses:        res.Accesses,
+			RemoteAccesses:  res.RemoteAccesses,
+			RemoteFraction:  remoteFrac,
+			DominantHitRate: tr.Summarize().DominantGroupHitRate(),
+			DroppedEvents:   tr.Drops(),
+		})
+	}
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -190,6 +259,29 @@ func runTraced(opts figures.Options, modeStr, out string, printSummary bool) {
 			fatalf("close %s: %v", out, err)
 		}
 		fmt.Printf("wrote %s (%d workers, %d dropped events)\n", out, tr.NumWorkers(), tr.Drops())
+	}
+}
+
+// writeJSON writes v as indented JSON to path, or stdout for "-".
+func writeJSON(path string, v any) {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encode json: %v", err)
 	}
 }
 

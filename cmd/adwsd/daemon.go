@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/trace"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// jobRequest is the POST /jobs body.
+type jobRequest struct {
+	// Workload names a built-in workload (see workload.JobNames).
+	Workload string `json:"workload"`
+	// N is the problem size (0: the workload's default).
+	N int `json:"n,omitempty"`
+	// Seed drives the pseudo-random input (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Work and Size override the workload's default admission hints.
+	Work float64 `json:"work,omitempty"`
+	Size int64   `json:"size,omitempty"`
+	// DeadlineMS, when positive, cancels the job if it is still queued
+	// this many milliseconds after submission.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// jobResponse describes one job in GET /jobs[/{id}] and POST /jobs.
+type jobResponse struct {
+	ID       int64   `json:"id"`
+	Workload string  `json:"workload"`
+	State    string  `json:"state"`
+	Error    string  `json:"error,omitempty"`
+	QueuedMS float64 `json:"queued_ms"`
+	RunMS    float64 `json:"run_ms"`
+	RangeLo  float64 `json:"range_lo"`
+	RangeHi  float64 `json:"range_hi"`
+	Tasks    int64   `json:"tasks"`
+	Steals   int64   `json:"steals"`
+	Migrs    int64   `json:"migrations"`
+}
+
+// builder constructs a named workload; the daemon's registry maps
+// workload names to builders (tests may inject extra entries).
+type builder func(n int, seed uint64) (workload.Job, error)
+
+// daemon is the HTTP job-serving frontend over one adws pool.
+type daemon struct {
+	pool      *adws.Pool
+	workloads map[string]builder
+	// traceMetrics enables the trace-derived section of /metrics. The
+	// tracer's rings may only be read while the pool is quiescent
+	// (docs/TRACING.md); enable it only for scrapes of idle or drained
+	// daemons.
+	traceMetrics bool
+
+	mu    sync.Mutex
+	names map[int64]string // job id -> workload name
+	start time.Time
+}
+
+func newDaemon(pool *adws.Pool, traceMetrics bool) *daemon {
+	d := &daemon{
+		pool:         pool,
+		workloads:    make(map[string]builder),
+		traceMetrics: traceMetrics,
+		names:        make(map[int64]string),
+		start:        time.Now(),
+	}
+	for _, name := range workload.JobNames() {
+		name := name
+		d.workloads[name] = func(n int, seed uint64) (workload.Job, error) {
+			return workload.NewJob(name, n, seed)
+		}
+	}
+	return d
+}
+
+// handler builds the daemon's route table.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.postJob)
+	mux.HandleFunc("GET /jobs", d.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", d.getJob)
+	mux.HandleFunc("GET /healthz", d.healthz)
+	mux.HandleFunc("GET /metrics", d.metrics)
+	return mux
+}
+
+func (d *daemon) postJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	build, ok := d.workloads[req.Workload]
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown workload %q (have %v)", req.Workload, workload.JobNames()))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	wj, err := build(req.N, seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	hint := wj.Hint()
+	if req.Work > 0 {
+		hint.Work = req.Work
+	}
+	if req.Size > 0 {
+		hint.Size = req.Size
+	}
+	if req.DeadlineMS > 0 {
+		hint.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	body := wj.Body
+	j, err := d.pool.Submit(context.Background(), func(c *adws.Ctx) error { return body(c) }, hint)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, adws.ErrOverloaded) || errors.Is(err, adws.ErrDraining) ||
+			errors.Is(err, adws.ErrPoolClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	d.mu.Lock()
+	d.names[j.ID()] = wj.Name
+	d.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, d.describe(j))
+}
+
+func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	j, ok := d.pool.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.describe(j))
+}
+
+func (d *daemon) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := d.pool.Jobs()
+	out := make([]jobResponse, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, d.describe(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *daemon) describe(j *adws.Job) jobResponse {
+	st := j.Stats()
+	d.mu.Lock()
+	name := d.names[j.ID()]
+	d.mu.Unlock()
+	resp := jobResponse{
+		ID:       j.ID(),
+		Workload: name,
+		State:    j.State().String(),
+		QueuedMS: float64(st.Queued) / 1e6,
+		RunMS:    float64(st.Run) / 1e6,
+		RangeLo:  st.RangeLo,
+		RangeHi:  st.RangeHi,
+		Tasks:    st.Tasks,
+		Steals:   st.Steals,
+		Migrs:    st.Migrations,
+	}
+	if err := j.Err(); err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := d.pool.InFlight()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(d.start).Seconds(),
+		"workers":   d.pool.NumWorkers(),
+		"scheduler": d.pool.Scheduler().String(),
+		"queued":    queued,
+		"running":   running,
+	})
+}
+
+// metrics writes a Prometheus-style text exposition of the pool's
+// scheduling counters and the admission state. Trace-derived metrics
+// (dominant-group hit rate, steal distances) are appended only when the
+// daemon was started with -tracemetrics AND no job is in flight, since
+// reading the trace rings requires quiescence.
+func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := d.pool.Stats()
+	fmt.Fprintf(w, "# TYPE adws_tasks_total counter\nadws_tasks_total %d\n", st.Tasks)
+	fmt.Fprintf(w, "# TYPE adws_steals_total counter\nadws_steals_total %d\n", st.Steals)
+	fmt.Fprintf(w, "# TYPE adws_steal_attempts_total counter\nadws_steal_attempts_total %d\n", st.StealAttempts)
+	fmt.Fprintf(w, "# TYPE adws_migrations_total counter\nadws_migrations_total %d\n", st.Migrations)
+	fmt.Fprintf(w, "# TYPE adws_busy_seconds_total counter\nadws_busy_seconds_total %g\n", float64(st.BusyNS)/1e9)
+	fmt.Fprintf(w, "# TYPE adws_idle_seconds_total counter\nadws_idle_seconds_total %g\n", float64(st.IdleNS)/1e9)
+	fmt.Fprintf(w, "# TYPE adws_workers gauge\nadws_workers %d\n", d.pool.NumWorkers())
+	for _, ws := range st.PerWorker {
+		fmt.Fprintf(w, "adws_worker_tasks_total{worker=\"%d\"} %d\n", ws.Worker, ws.Tasks)
+		fmt.Fprintf(w, "adws_worker_steals_total{worker=\"%d\"} %d\n", ws.Worker, ws.Steals)
+	}
+	queued, running := d.pool.InFlight()
+	fmt.Fprintf(w, "# TYPE adws_jobs_queued gauge\nadws_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "# TYPE adws_jobs_running gauge\nadws_jobs_running %d\n", running)
+
+	if d.traceMetrics && queued == 0 && running == 0 {
+		if tr := d.pool.Tracer(); tr != nil {
+			d.traceSection(w, tr)
+		}
+	}
+}
+
+func (d *daemon) traceSection(w http.ResponseWriter, tr *trace.Tracer) {
+	s := tr.Summarize()
+	fmt.Fprintf(w, "# TYPE adws_trace_dominant_hit_rate gauge\nadws_trace_dominant_hit_rate %g\n",
+		s.DominantGroupHitRate())
+	fmt.Fprintf(w, "# TYPE adws_trace_steal_success_rate gauge\nadws_trace_steal_success_rate %g\n",
+		s.StealSuccessRate())
+	fmt.Fprintf(w, "# TYPE adws_trace_drops_total counter\nadws_trace_drops_total %d\n", s.Drops)
+	for dist, n := range s.StealDistance {
+		if n > 0 {
+			fmt.Fprintf(w, "adws_trace_steal_distance_total{distance=\"%d\"} %d\n", dist, n)
+		}
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/workload"
+)
+
+// TestDaemonEndToEnd drives the full job-serving stack over HTTP: a
+// 4-worker ADWS pool with a small admission window (2 running, 4 queued)
+// serving concurrent submissions with mixed hints. Two blocker jobs pin
+// both in-flight slots so that 8 concurrent submissions split
+// deterministically into 4 queued and 4 ErrOverloaded fast-rejects; after
+// release, every accepted job must complete with a verified result and
+// populated per-job stats, and the rejected workloads resubmit cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	pool, err := adws.NewPool(
+		adws.WithScheduler(adws.ADWS),
+		adws.WithWorkers(4),
+		adws.WithAdmission(2, 4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	d := newDaemon(pool, false)
+	release := make(chan struct{})
+	d.workloads["block"] = func(n int, seed uint64) (workload.Job, error) {
+		return workload.Job{Name: "block", N: n, Work: 1,
+			Body: func(c *adws.Ctx) error { <-release; return nil }}, nil
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	post := func(body string) (int, jobResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, jr
+	}
+
+	// Occupy both in-flight slots. The admission layer counts them as
+	// running immediately, regardless of when a worker picks them up.
+	for i := 0; i < 2; i++ {
+		if code, _ := post(`{"workload": "block"}`); code != http.StatusAccepted {
+			t.Fatalf("block job %d: status %d, want 202", i, code)
+		}
+	}
+	if queued, running := pool.InFlight(); queued != 0 || running != 2 {
+		t.Fatalf("after blockers: queued=%d running=%d, want 0, 2", queued, running)
+	}
+
+	// 8 concurrent submissions, mixed workloads and hints. Both slots are
+	// pinned and the queue holds 4, so exactly 4 are accepted (queued) and
+	// 4 fast-reject with ErrOverloaded (503).
+	reqs := []string{
+		`{"workload": "quicksort", "n": 20000, "work": 3}`,
+		`{"workload": "fib", "n": 22, "work": 1}`,
+		`{"workload": "matmul", "n": 48, "work": 2, "size": 27648}`,
+		`{"workload": "rrm", "n": 20000, "work": 1}`,
+		`{"workload": "heat2d", "n": 64, "work": 2}`,
+		`{"workload": "kdtree", "n": 10000, "work": 3}`,
+		`{"workload": "quicksort", "n": 10000, "seed": 7}`,
+		`{"workload": "fib", "n": 20, "work": 0.5}`,
+	}
+	var mu sync.Mutex
+	var accepted []int64
+	var rejected []string
+	var wg sync.WaitGroup
+	for _, req := range reqs {
+		req := req
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, jr := post(req)
+			mu.Lock()
+			defer mu.Unlock()
+			switch code {
+			case http.StatusAccepted:
+				accepted = append(accepted, jr.ID)
+			case http.StatusServiceUnavailable:
+				rejected = append(rejected, req)
+			default:
+				t.Errorf("POST %s: status %d", req, code)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(accepted) != 4 || len(rejected) != 4 {
+		t.Fatalf("accepted %d rejected %d, want 4 and 4", len(accepted), len(rejected))
+	}
+
+	// Release the blockers; the queue drains and every accepted job runs.
+	close(release)
+	waitDone := func(ids []int64) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		for _, id := range ids {
+			j, ok := pool.Job(id)
+			if !ok {
+				t.Fatalf("job %d not retained", id)
+			}
+			if err := j.Wait(ctx); err != nil {
+				t.Fatalf("job %d: %v", id, err)
+			}
+		}
+	}
+	waitDone(accepted)
+
+	// The rejected workloads resubmit cleanly once the overload clears.
+	var resubmitted []int64
+	for _, req := range rejected {
+		code, jr := post(req)
+		if code != http.StatusAccepted {
+			t.Fatalf("resubmit %s: status %d, want 202", req, code)
+		}
+		resubmitted = append(resubmitted, jr.ID)
+	}
+	waitDone(resubmitted)
+
+	// Every completed job carries a verified result (body self-checks
+	// report through Err) and populated per-job stats.
+	for _, id := range append(append([]int64{}, accepted...), resubmitted...) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jr.State != "done" || jr.Error != "" {
+			t.Errorf("job %d: state %q error %q, want done", id, jr.State, jr.Error)
+		}
+		if jr.Tasks <= 0 {
+			t.Errorf("job %d: tasks = %d, want positive", id, jr.Tasks)
+		}
+		if !(jr.RangeLo < jr.RangeHi) || jr.RangeLo < 0 || jr.RangeHi > 1 {
+			t.Errorf("job %d: range [%v, %v) invalid", id, jr.RangeLo, jr.RangeHi)
+		}
+		if jr.RunMS <= 0 {
+			t.Errorf("job %d: run_ms = %v, want positive", id, jr.RunMS)
+		}
+		if jr.Workload == "" {
+			t.Errorf("job %d: workload name missing", id)
+		}
+	}
+
+	// GET /jobs lists every retained job (2 blockers + 8 completed).
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != 10 {
+		t.Errorf("GET /jobs returned %d jobs, want 10", len(all))
+	}
+}
+
+func TestDaemonHealthAndMetrics(t *testing.T) {
+	pool, err := adws.NewPool(adws.WithScheduler(adws.ADWS), adws.WithWorkers(2), adws.WithTracing(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	d := newDaemon(pool, true)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20}`); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pool.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["workers"] != float64(2) {
+		t.Errorf("healthz = %v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"adws_tasks_total", "adws_steals_total", "adws_workers 2",
+		"adws_jobs_queued 0", "adws_jobs_running 0",
+		// Pool idle + -tracemetrics: the trace-derived section appears.
+		"adws_trace_steal_success_rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDaemonBadRequests(t *testing.T) {
+	pool, err := adws.NewPool(adws.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ts := httptest.NewServer(newDaemon(pool, false).handler())
+	defer ts.Close()
+
+	if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "no-such"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown workload: status %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/jobs", `{not json`); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 99}`); code != http.StatusBadRequest {
+		t.Errorf("oversized fib: status %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /jobs/999: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /jobs/zzz: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, jr
+}

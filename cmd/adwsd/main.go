@@ -1,0 +1,105 @@
+// Command adwsd serves named adws workloads as jobs over HTTP on one
+// persistent worker pool, exercising the job-serving layer (Pool.Submit,
+// admission control, per-job stats) end to end.
+//
+// Endpoints:
+//
+//	POST /jobs       {"workload": "quicksort", "n": 500000, "work": 2, ...}
+//	GET  /jobs       all retained jobs
+//	GET  /jobs/{id}  one job
+//	GET  /healthz    liveness + admission state
+//	GET  /metrics    Prometheus-style text exposition
+//
+// Shutdown: SIGINT/SIGTERM drains in-flight jobs (bounded by -draintimeout)
+// before closing the pool.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/parlab/adws"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:7117", "listen address")
+		schedName    = flag.String("sched", "adws", "scheduler: ws, adws, mlws, mladws")
+		workers      = flag.Int("workers", 0, "worker count (0: GOMAXPROCS)")
+		maxInFlight  = flag.Int("maxinflight", 0, "max concurrently running jobs (0: one per worker)")
+		maxQueue     = flag.Int("maxqueue", 0, "admission queue depth (0: 4x maxinflight)")
+		seed         = flag.Uint64("seed", 1, "victim-selection seed")
+		traceCap     = flag.Int("trace", 0, "enable tracing with this per-worker ring capacity (0: off)")
+		traceMetrics = flag.Bool("tracemetrics", false, "expose trace-derived metrics on /metrics when idle (requires -trace)")
+		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	sched, err := parseScheduler(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []adws.Option{
+		adws.WithScheduler(sched),
+		adws.WithSeed(*seed),
+		adws.WithAdmission(*maxInFlight, *maxQueue),
+	}
+	if *workers > 0 {
+		opts = append(opts, adws.WithWorkers(*workers))
+	}
+	if *traceCap > 0 {
+		opts = append(opts, adws.WithTracing(*traceCap))
+	}
+	pool, err := adws.NewPool(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := newDaemon(pool, *traceMetrics && *traceCap > 0)
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("adwsd: serving on http://%s (%s, %d workers)",
+		*addr, pool.Scheduler(), pool.NumWorkers())
+
+	select {
+	case sig := <-stop:
+		log.Printf("adwsd: %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-serveErr:
+		log.Fatalf("adwsd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := pool.Drain(ctx); err != nil {
+		log.Printf("adwsd: drain: %v (closing anyway)", err)
+	}
+	pool.Close()
+	log.Printf("adwsd: bye")
+}
+
+func parseScheduler(name string) (adws.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "ws":
+		return adws.WorkStealing, nil
+	case "adws":
+		return adws.ADWS, nil
+	case "mlws":
+		return adws.MultiLevelWS, nil
+	case "mladws":
+		return adws.MultiLevelADWS, nil
+	}
+	return 0, fmt.Errorf("adwsd: unknown scheduler %q (want ws, adws, mlws, mladws)", name)
+}

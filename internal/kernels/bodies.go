@@ -1,0 +1,48 @@
+package kernels
+
+import "github.com/parlab/adws"
+
+// Body-level entry points: each returns a root-task body equivalent to
+// the corresponding Pool.Run wrapper, for injection through the
+// job-serving layer (Pool.Submit) where the caller owns the root task.
+// State (buffers, results) is captured by the closure, so one body is
+// good for one execution.
+
+// QuicksortBody returns a body sorting data in place (ascending).
+func QuicksortBody(data []float64) func(*adws.Ctx) {
+	buf := make([]float64, len(data))
+	return func(c *adws.Ctx) { qsort(c, data, buf) }
+}
+
+// RRMBody returns a body applying the recursive repeated map to data.
+func RRMBody(data []float64, alpha float64) func(*adws.Ctx) {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return func(c *adws.Ctx) { rrmRec(c, data, alpha) }
+}
+
+// KDTreeBody returns a body building a kd-tree over points, storing the
+// root node in *out.
+func KDTreeBody(points []KDPoint, out **KDNode) func(*adws.Ctx) {
+	buf := make([]KDPoint, len(points))
+	return func(c *adws.Ctx) { *out = kdBuild(c, points, buf, 0, 0) }
+}
+
+// MatMulBody returns a body computing C = A·B for n×n matrices.
+func MatMulBody(C, A, B *Matrix) func(*adws.Ctx) {
+	return func(c *adws.Ctx) { mmRec(c, C, A, B, 0, 0, 0, 0, 0, 0, C.N) }
+}
+
+// Heat2DBody returns a body running iters stencil iterations with double
+// buffering, storing the grid holding the final state in *out.
+func Heat2DBody(src, dst *Grid, iters int, out **Grid) func(*adws.Ctx) {
+	return func(c *adws.Ctx) {
+		s, d := src, dst
+		for it := 0; it < iters; it++ {
+			heatSweep(c, s, d, 0, 0, s.N, s.N)
+			s, d = d, s
+		}
+		*out = s
+	}
+}

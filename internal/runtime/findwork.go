@@ -15,16 +15,14 @@ const maxStealTries = 4
 // always succeed to preserve liveness (DESIGN.md).
 func (w *worker) findTask(minDepth int) *task {
 	cands := w.candidates()
-	// Claim a freshly submitted root task if we act for the root entity.
-	if w.pool.pendingRoot.Load() != nil {
-		rootEnt := w.pool.rootDom.entities[0]
-		for _, ent := range cands {
-			if ent == rootEnt {
-				if t := w.pool.pendingRoot.Swap(nil); t != nil {
-					w.noteStart(ent, t)
-					return t
-				}
-			}
+	// Claim a freshly submitted root task if we act for its owner entity.
+	// Only the top-level scheduler loop claims roots (execDepth == 0):
+	// starting a new root inside a helping wait would trap the waiting
+	// group behind the whole new computation.
+	if w.execDepth == 0 && w.pool.rootN.Load() > 0 {
+		if t := w.pool.claimRoot(cands); t != nil {
+			w.noteStart(t.ent, t)
+			return t
 		}
 	}
 	for _, ent := range cands {
@@ -40,6 +38,15 @@ func (w *worker) findTask(minDepth int) *task {
 		}
 	}
 	return nil
+}
+
+// noteSteal records a successful steal on the worker and the stolen
+// task's job.
+func (w *worker) noteSteal(t *task) {
+	w.steals.Add(1)
+	if t.job != nil {
+		t.job.steals.Add(1)
+	}
 }
 
 // noteStart records scheduling bookkeeping when a task begins on entity e.
@@ -136,11 +143,11 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			ve := d.entities[vp]
 			if sr.MigrationStealable(v) {
 				if t := ve.stealMigration(md); t != nil {
-					w.steals.Add(1)
+					w.noteSteal(t)
 					if tr != nil {
 						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
-							Task: t.seq, RangeLo: srLo, RangeHi: srHi})
+							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi})
 					}
 					rebase(t, self, d)
 					return t
@@ -148,11 +155,11 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			}
 			if sr.PrimaryStealable(v) {
 				if t := ve.stealPrimary(md); t != nil {
-					w.steals.Add(1)
+					w.noteSteal(t)
 					if tr != nil {
 						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
-							Task: t.seq, RangeLo: srLo, RangeHi: srHi})
+							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi})
 					}
 					rebase(t, self, d)
 					return t
@@ -180,10 +187,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 				Self: int32(ent.idx), Victim: int32(v)})
 		}
 		if t := d.entities[v].stealAny(); t != nil {
-			w.steals.Add(1)
+			w.noteSteal(t)
 			if tr != nil {
 				tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
-					Self: int32(ent.idx), Victim: int32(v), Task: t.seq})
+					Self: int32(ent.idx), Victim: int32(v), Task: t.seq, Job: t.jobID()})
 			}
 			return t
 		}

@@ -87,11 +87,16 @@ type TaskGroup struct {
 }
 
 // Spawn adds a child task with the given work hint (w1..wN in Fig. 2b).
+// Spawn panics if the group was already waited: a TaskGroup is finished by
+// its Wait and cannot be reused (open a new group instead).
 func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 	g := tg.g
+	if g.waited {
+		panic("runtime: Spawn on a task group that was already waited; open a new group with Ctx.Group")
+	}
 	g.spawned++
 	g.remaining.Add(1)
-	t := &task{fn: fn, pg: g, dom: g.dom}
+	t := &task{fn: fn, pg: g, dom: g.dom, job: g.parent.cur.job}
 	tr := g.pool.tracer
 	if tr != nil {
 		t.seq = g.pool.taskSeq.Add(1)
@@ -118,10 +123,13 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		if tr != nil {
 			tr.Record(g.parent.w.id, trace.Event{Type: trace.EvMigration, Time: now(),
 				Self: int32(g.iExec), Victim: int32(t.rng.Owner()), Task: t.seq,
-				Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
+				Job: t.jobID(), Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
 		}
 		ent.push(t, true)
 		g.parent.w.migrations.Add(1)
+		if t.job != nil {
+			t.job.migrations.Add(1)
+		}
 		g.pool.broadcast()
 	case sched.KindExecute:
 		// The unique cross-worker child owned by the spawning entity: the
@@ -138,9 +146,14 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 }
 
 // Wait blocks until every spawned child (and its descendants) completed.
-// The calling worker executes pending tasks while it waits.
+// The calling worker executes pending tasks while it waits. Wait finishes
+// the group: calling Wait twice, or Spawn after Wait, panics.
 func (tg *TaskGroup) Wait() {
 	g := tg.g
+	if g.waited {
+		panic("runtime: Wait called twice on the same task group")
+	}
+	g.waited = true
 	c := g.parent
 	w := c.w
 	p := g.pool
@@ -148,7 +161,7 @@ func (tg *TaskGroup) Wait() {
 	tr := p.tracer
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWaitEnter, Time: now(),
-			Task: c.cur.seq, Depth: int32(g.childDepth)})
+			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)})
 	}
 
 	if ec := g.execChild; ec != nil {
@@ -191,7 +204,7 @@ func (tg *TaskGroup) Wait() {
 	}
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWaitExit, Time: now(),
-			Task: c.cur.seq, Depth: int32(g.childDepth)})
+			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)})
 	}
 
 	if g.node != nil {

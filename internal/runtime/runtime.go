@@ -17,7 +17,9 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	gort "runtime"
 	"sync"
 	"sync/atomic"
@@ -111,14 +113,57 @@ type Pool struct {
 	shutdown atomic.Bool
 	wg       sync.WaitGroup
 
-	// rootDone signals completion of the current Run's root task.
-	runMu    sync.Mutex
-	rootDone chan struct{}
-	// pendingRoot hands a new root task to the root entity's acting worker
-	// (pushing from the Run goroutine would violate the lock-free deque's
-	// single-owner requirement).
-	pendingRoot atomic.Pointer[task]
+	// runMu serializes Run calls: concurrent Runs are safe but execute one
+	// after another (use SubmitRoot for concurrent root computations).
+	runMu sync.Mutex
+	// rootMu guards rootQ, the FIFO of injected root tasks awaiting their
+	// owner entity's acting worker (pushing from a submitting goroutine
+	// would violate the lock-free deque's single-owner requirement).
+	// rootN mirrors len(rootQ) as the workers' lock-free fast path.
+	rootMu sync.Mutex
+	rootQ  []*task
+	rootN  atomic.Int32
+	// jobSeq issues root-job ordinals (1-based; 0 means "no job").
+	jobSeq atomic.Int64
 }
+
+// ErrClosed is returned by SubmitRoot on a closed pool.
+var ErrClosed = errors.New("runtime: pool is closed")
+
+// RootJob tracks one injected root computation: a completion signal plus
+// per-job scheduling counters maintained by the workers (every task
+// transitively spawned by the root carries a pointer to its RootJob).
+type RootJob struct {
+	id   int64
+	rng  sched.Range
+	done chan struct{}
+
+	tasks, steals, migrations atomic.Int64
+}
+
+// ID returns the job's ordinal (1-based, unique per pool). Trace events of
+// the job's tasks carry it in Event.Job.
+func (j *RootJob) ID() int64 { return j.id }
+
+// Done is closed when the root task and everything it transitively spawned
+// and awaited completed.
+func (j *RootJob) Done() <-chan struct{} { return j.done }
+
+// Range returns the distribution range the root task was placed with, in
+// root-domain entity units.
+func (j *RootJob) Range() sched.Range { return j.rng }
+
+// Tasks returns the number of the job's tasks executed so far. Safe to
+// read while the job runs.
+func (j *RootJob) Tasks() int64 { return j.tasks.Load() }
+
+// Steals returns the number of successful steals that moved one of the
+// job's tasks. Safe to read while the job runs.
+func (j *RootJob) Steals() int64 { return j.steals.Load() }
+
+// Migrations returns the number of deterministic migrations of the job's
+// tasks. Safe to read while the job runs.
+func (j *RootJob) Migrations() int64 { return j.migrations.Load() }
 
 // task is one schedulable unit.
 type task struct {
@@ -135,6 +180,18 @@ type task struct {
 	crossWorker bool
 	// seq is the task's creation ordinal, assigned only when tracing.
 	seq int64
+	// job is the root job this task descends from (nil only for internal
+	// tasks created before job tracking existed; all Run/SubmitRoot roots
+	// carry one).
+	job *RootJob
+}
+
+// jobID returns the task's job ordinal, or 0 without a job.
+func (t *task) jobID() int64 {
+	if t.job == nil {
+		return 0
+	}
+	return t.job.id
 }
 
 // taskGroup is a live task group created by Ctx.Group.
@@ -170,6 +227,8 @@ type taskGroup struct {
 	// fresh marks groups that opened a new domain.
 	fresh bool
 	adws  bool
+	// waited is set once Wait runs; further Spawn/Wait calls panic.
+	waited bool
 }
 
 // Ctx is the execution context a task body receives.
@@ -223,28 +282,96 @@ func (p *Pool) Close() {
 }
 
 // Run executes fn as the root task and blocks until it (and every task it
-// transitively spawned and waited for) completes. Only one Run may be
-// active at a time.
+// transitively spawned and waited for) completes. Concurrent Run calls are
+// safe: they serialize and execute one after another, each over the full
+// worker range (submit concurrent roots with SubmitRoot instead). Run
+// panics if the pool is closed.
 func (p *Pool) Run(fn func(*Ctx)) {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
-	done := make(chan struct{})
-	p.rootDone = done
+	j, err := p.SubmitRoot(fn, 0, 1)
+	if err != nil {
+		panic("runtime: Run on closed Pool")
+	}
+	<-j.Done()
+}
+
+// SubmitRoot injects fn as a new root task placed on the fraction
+// [lo, hi) of the root scheduling domain (0 ≤ lo < hi ≤ 1; Run uses
+// [0, 1)) and returns without waiting. Multiple roots may be in flight
+// concurrently: each is claimed by the worker acting for the owner entity
+// of its range, and under ADWS its hint-guided division and dominant-group
+// steal ranges confine its descendants to the submitted fraction (up to
+// dynamic load balancing). A single in-flight SubmitRoot over [0, 1)
+// behaves exactly like Run.
+//
+// SubmitRoot returns ErrClosed on a closed pool. Roots submitted before
+// Close that no worker claimed yet are abandoned: their Done channel never
+// closes.
+func (p *Pool) SubmitRoot(fn func(*Ctx), lo, hi float64) (*RootJob, error) {
+	if p.shutdown.Load() {
+		return nil, ErrClosed
+	}
+	if math.IsNaN(lo) || lo < 0 {
+		lo = 0
+	}
+	if math.IsNaN(hi) || hi > 1 {
+		hi = 1
+	}
+	if hi <= lo {
+		lo, hi = 0, 1
+	}
+	d := p.rootDom
+	n := float64(len(d.entities))
+	off := float64(d.offset)
+	rng := sched.Range{X: off + lo*n, Y: off + hi*n}
+	// Keep the owner inside the domain even when lo rounds up to 1.
+	if rng.X > off+n-1 {
+		rng.X = off + n - 1
+	}
+	j := &RootJob{id: p.jobSeq.Add(1), rng: rng, done: make(chan struct{})}
 	root := &task{
 		fn: func(c *Ctx) {
 			fn(c)
-			close(done)
+			close(j.done)
 		},
-		dom: p.rootDom,
-		ent: p.rootDom.entities[0],
-		rng: p.rootDom.fullRange(),
+		dom: d,
+		ent: d.entities[d.physical(rng.Owner())],
+		rng: rng,
+		job: j,
 	}
 	if p.tracer != nil {
 		root.seq = p.taskSeq.Add(1)
 	}
-	p.pendingRoot.Store(root)
+	p.rootMu.Lock()
+	if p.shutdown.Load() {
+		p.rootMu.Unlock()
+		return nil, ErrClosed
+	}
+	p.rootQ = append(p.rootQ, root)
+	p.rootN.Store(int32(len(p.rootQ)))
+	p.rootMu.Unlock()
 	p.broadcast()
-	<-done
+	return j, nil
+}
+
+// claimRoot hands the oldest pending root task owned by one of the
+// worker's candidate entities to the worker, or nil. Only top-level
+// callers claim roots (never helping waits), so a root's completion can
+// never be trapped under another job's wait.
+func (p *Pool) claimRoot(cands []*entity) *task {
+	p.rootMu.Lock()
+	defer p.rootMu.Unlock()
+	for i, t := range p.rootQ {
+		for _, ent := range cands {
+			if t.ent == ent {
+				p.rootQ = append(p.rootQ[:i], p.rootQ[i+1:]...)
+				p.rootN.Store(int32(len(p.rootQ)))
+				return t
+			}
+		}
+	}
+	return nil
 }
 
 // WorkerStats is one worker's scheduling counters.
@@ -405,6 +532,9 @@ func waitWithTimeout(cond *sync.Cond, mu *sync.Mutex, d time.Duration) {
 // execute runs one task to completion.
 func (w *worker) execute(t *task) {
 	w.tasks.Add(1)
+	if t.job != nil {
+		t.job.tasks.Add(1)
+	}
 	w.execDepth++
 	var start int64
 	if w.execDepth == 1 {
@@ -413,13 +543,14 @@ func (w *worker) execute(t *task) {
 	tr := w.pool.tracer
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvTaskBegin, Time: now(),
-			Task: t.seq, Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
+			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth),
+			RangeLo: t.rng.X, RangeHi: t.rng.Y})
 	}
 	c := &Ctx{pool: w.pool, w: w, cur: t}
 	t.fn(c)
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvTaskEnd, Time: now(),
-			Task: t.seq, Depth: int32(t.depth)})
+			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth)})
 	}
 	if w.execDepth == 1 {
 		w.busyNS.Add(now() - start)

@@ -1,0 +1,413 @@
+// Package server is the job-serving layer over the adws runtime: it turns
+// one persistent, locality-aware worker pool into a multi-tenant service
+// that many clients share concurrently.
+//
+// Jobs are admitted through a bounded FIFO queue with fast-reject
+// backpressure (ErrOverloaded) and a cap on concurrently running jobs.
+// When a job is dispatched, the server divides the pool's worker range
+// among the in-flight jobs with the same hint-guided proportional
+// division ADWS applies to sibling tasks (paper §3.1): a job with work
+// hint w receives the fraction w / Σ(in-flight work) of the workers,
+// assigned from a deterministic rolling cursor, and its root task group
+// is injected at that sub-range (runtime.SubmitRoot). Under ADWS the
+// job's dominant-group steal ranges then confine its tasks to its slice
+// of the machine — the job-level analogue of bounding where sibling
+// subtrees land, which is what preserves cache locality under mixed
+// workloads.
+//
+// Determinism caveat: a single in-flight job over the full range behaves
+// exactly like Pool.Run. With several concurrent jobs, placement is
+// deterministic in admission order, but dynamic load balancing may move
+// tasks of different jobs across each other's ranges, and admission order
+// itself depends on client timing — concurrent serving trades the
+// almost-determinism of a solo run for throughput (see docs/SERVER.md).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/parlab/adws/internal/runtime"
+)
+
+var (
+	// ErrOverloaded is the fast-reject: the admission queue is full.
+	ErrOverloaded = errors.New("server: overloaded: admission queue is full")
+	// ErrDraining rejects submissions while Drain is in progress.
+	ErrDraining = errors.New("server: draining: not admitting new jobs")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("server: closed")
+)
+
+// Config parameterizes admission control.
+type Config struct {
+	// MaxInFlight caps concurrently running jobs (<= 0: the pool's worker
+	// count).
+	MaxInFlight int
+	// MaxQueue caps the admission queue depth; submissions beyond it are
+	// fast-rejected with ErrOverloaded (<= 0: 4 × MaxInFlight).
+	MaxQueue int
+	// RetainDone caps how many terminal jobs the id lookup keeps, oldest
+	// evicted first (<= 0: 1024). In-flight jobs are always retained.
+	RetainDone int
+}
+
+func (c Config) withDefaults(workers int) Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.RetainDone <= 0 {
+		c.RetainDone = 1024
+	}
+	return c
+}
+
+// Counters are the server's monotonic admission counters.
+type Counters struct {
+	Submitted, Rejected, Completed, Failed, Canceled int64
+}
+
+// Server serves concurrent jobs on one runtime pool.
+type Server struct {
+	pool *runtime.Pool
+	cfg  Config
+
+	mu       sync.Mutex
+	queue    []*Job
+	running  int
+	workSum  float64 // Σ work hints of running jobs
+	cursor   float64 // rolling placement cursor in [0, 1)
+	idSeq    int64
+	draining bool
+	closed   bool
+	// drained is closed when draining && no jobs in flight (lazily made).
+	drained chan struct{}
+	jobs    map[int64]*Job
+	order   []int64 // job ids in submission order, for bounded retention
+	ctrs    Counters
+}
+
+// New creates a job server over pool. The server starts no goroutines
+// until jobs are submitted.
+func New(pool *runtime.Pool, cfg Config) *Server {
+	return &Server{
+		pool: pool,
+		cfg:  cfg.withDefaults(pool.NumWorkers()),
+		jobs: make(map[int64]*Job),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit admits fn as a new job. It never blocks: the job is dispatched
+// immediately when a running slot is free, queued when the admission
+// queue has room, and otherwise rejected with ErrOverloaded. ctx and the
+// hint deadline bound the job's time in the queue (see Hint.Deadline);
+// fn's returned error (or recovered panic) becomes Job.Err.
+func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return nil, ErrClosed
+	case s.draining:
+		return nil, ErrDraining
+	case len(s.queue) >= s.cfg.MaxQueue:
+		s.ctrs.Rejected++
+		return nil, ErrOverloaded
+	}
+
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if h.Deadline.IsZero() {
+		jctx, cancel = context.WithCancel(ctx)
+	} else {
+		jctx, cancel = context.WithDeadline(ctx, h.Deadline)
+	}
+	s.idSeq++
+	j := &Job{
+		id:        s.idSeq,
+		hint:      h,
+		fn:        fn,
+		ctx:       jctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		srv:       s,
+		state:     Queued,
+		submitted: time.Now(),
+	}
+	s.ctrs.Submitted++
+	s.retainLocked(j)
+
+	if s.running < s.cfg.MaxInFlight && len(s.queue) == 0 {
+		s.dispatchLocked(j)
+		return j, nil
+	}
+	s.queue = append(s.queue, j)
+	// Complete a job promptly if it is cancelled or expires while queued.
+	stop := context.AfterFunc(jctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.state != Queued {
+			return
+		}
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.completeLocked(j, Canceled, j.ctx.Err())
+	})
+	j.stopWatch = stop
+	return j, nil
+}
+
+// dispatchLocked places j on the pool. Caller holds s.mu.
+func (s *Server) dispatchLocked(j *Job) {
+	if j.stopWatch != nil {
+		j.stopWatch()
+		j.stopWatch = nil
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.completeLocked(j, Canceled, err)
+		return
+	}
+	work := j.hint.Work
+	if work <= 0 {
+		work = 1
+	}
+	lo, hi := s.placeLocked(work)
+	root, err := s.pool.SubmitRoot(s.body(j), lo, hi)
+	if err != nil {
+		s.completeLocked(j, Failed, err)
+		return
+	}
+	s.running++
+	s.workSum += work
+	j.state = Running
+	j.started = time.Now()
+	j.root = root
+	j.lo, j.hi = lo, hi
+	go s.reap(j, work)
+}
+
+// placeLocked divides the worker range among the in-flight jobs the way
+// ADWS divides a group's range among sibling tasks: the new job receives
+// the fraction work / (running work + work), clamped to at least one
+// worker, carved from a rolling cursor (wrapping to 0 when the slice
+// would cross the top). Deterministic in dispatch order.
+func (s *Server) placeLocked(work float64) (lo, hi float64) {
+	width := work / (s.workSum + work)
+	if minW := 1 / float64(s.pool.NumWorkers()); width < minW {
+		width = minW
+	}
+	if width > 1 {
+		width = 1
+	}
+	if s.cursor+width > 1 {
+		s.cursor = 0
+	}
+	lo = s.cursor
+	hi = lo + width
+	if hi >= 1 {
+		hi = 1
+		s.cursor = 0
+	} else {
+		s.cursor = hi
+	}
+	return lo, hi
+}
+
+// body wraps the job's fn for the runtime: a sized root task group when
+// the job carries a size hint (so multi-level scheduling can tie the job
+// to a fitting cache), error capture, and panic containment.
+func (s *Server) body(j *Job) func(*runtime.Ctx) {
+	return func(c *runtime.Ctx) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				j.err = fmt.Errorf("job %d panicked: %v", j.id, r)
+				s.mu.Unlock()
+			}
+		}()
+		var err error
+		if j.hint.Size > 0 {
+			w := j.hint.Work
+			if w <= 0 {
+				w = 1
+			}
+			g := c.Group(runtime.GroupHint{Work: w, Size: j.hint.Size})
+			g.Spawn(w, func(c *runtime.Ctx) { err = j.fn(c) })
+			g.Wait()
+		} else {
+			err = j.fn(c)
+		}
+		if err != nil {
+			s.mu.Lock()
+			if j.err == nil {
+				j.err = err
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// reap waits for j's root to complete, finalizes it, and dispatches the
+// next queued job.
+func (s *Server) reap(j *Job, work float64) {
+	<-j.root.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	s.workSum -= work
+	if j.err != nil {
+		s.completeLocked(j, Failed, j.err)
+	} else {
+		s.completeLocked(j, Done, nil)
+	}
+	for s.running < s.cfg.MaxInFlight && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.dispatchLocked(next)
+	}
+	s.signalDrainedLocked()
+}
+
+// completeLocked moves j to a terminal state. Caller holds s.mu.
+func (s *Server) completeLocked(j *Job, st State, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.err = err
+	j.finished = time.Now()
+	j.cancel()
+	switch st {
+	case Done:
+		s.ctrs.Completed++
+	case Failed:
+		s.ctrs.Failed++
+	case Canceled:
+		s.ctrs.Canceled++
+	}
+	close(j.done)
+	s.signalDrainedLocked()
+}
+
+func (s *Server) signalDrainedLocked() {
+	if s.draining && s.running == 0 && len(s.queue) == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// Drain stops admitting new jobs (submissions fail with ErrDraining) and
+// waits until every queued and running job reached a terminal state, or
+// ctx is done. Draining is sticky: it is not undone by a ctx expiry (call
+// Drain again to keep waiting).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.running == 0 && len(s.queue) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	drained := s.drained
+	s.mu.Unlock()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close rejects all future submissions (ErrClosed). It does not wait:
+// call Drain first for a graceful shutdown. Queued jobs that were never
+// dispatched are cancelled.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.draining = true
+	for _, j := range s.queue {
+		s.completeLocked(j, Canceled, ErrClosed)
+	}
+	s.queue = nil
+	s.signalDrainedLocked()
+}
+
+// Job returns the job with the given id, if retained.
+func (s *Server) Job(id int64) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns the retained jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// InFlight returns the current queue depth and running-job count.
+func (s *Server) InFlight() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// Counters returns the monotonic admission counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrs
+}
+
+// retainLocked registers j for id lookup and evicts the oldest terminal
+// jobs beyond the retention cap. Caller holds s.mu.
+func (s *Server) retainLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.cfg.RetainDone {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.RetainDone
+	for _, id := range s.order {
+		if excess > 0 {
+			if old, ok := s.jobs[id]; ok && old.state.Terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

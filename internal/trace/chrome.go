@@ -67,6 +67,9 @@ func WriteChromeTrace(w io.Writer, events []Event, workers int) error {
 			if ev.RangeHi > ev.RangeLo {
 				ce.Args["range"] = rangeString(ev.RangeLo, ev.RangeHi)
 			}
+			if ev.Job != 0 {
+				ce.Args["job"] = ev.Job
+			}
 			open[tid]++
 		case EvWaitEnter:
 			ce.Ph, ce.Cat, ce.Name = "B", "wait", "wait"

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -127,6 +128,45 @@ func Summarize(events []Event, workers int) Summary {
 		}
 	}
 	return s
+}
+
+// Jobs returns the distinct nonzero job ordinals present in events, in
+// ascending order.
+func Jobs(events []Event) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, ev := range events {
+		if ev.Job != 0 && !seen[ev.Job] {
+			seen[ev.Job] = true
+			out = append(out, ev.Job)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FilterJob returns the events attributable to one job: its task spans,
+// waits, migrations, and the steal successes that moved its tasks. Steal
+// attempts and failed steal rounds carry no job (a probe cannot know whose
+// task it would have found) and are never included; slice them from the
+// whole trace instead.
+func FilterJob(events []Event, job int64) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Job == job && ev.Job != 0 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// SummarizeJob derives metrics for one job's slice of the trace (see
+// FilterJob for the attribution rules). Because steal attempts are
+// unattributable, the per-job StealAttempts and StealFails are always
+// zero; per-job Tasks, Steals, Migrations, and wait metrics sum to the
+// whole-trace totals over all jobs when every task carried a job.
+func SummarizeJob(events []Event, workers int, job int64) Summary {
+	return Summarize(FilterJob(events, job), workers)
 }
 
 // StealSuccessRate returns Steals/StealAttempts, or 0 with no attempts.

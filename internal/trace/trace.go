@@ -127,6 +127,12 @@ type Event struct {
 	Time int64
 	// Task is the task ordinal, or the domain id for EvBoundary events.
 	Task int64
+	// Job is the root-job ordinal the event is attributable to: task spans,
+	// waits, and migrations carry the job of the task involved, and steal
+	// successes carry the stolen task's job. Zero means unattributable
+	// (steal attempts and failed rounds probe queues that may hold any
+	// job's tasks, and boundary events belong to the pool).
+	Job int64
 	// RangeLo and RangeHi carry the distribution or steal range [lo, hi).
 	RangeLo, RangeHi float64
 }

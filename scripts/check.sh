@@ -5,10 +5,12 @@
 #   1. go vet ./...                                  static checks
 #   2. go build ./...                                everything compiles
 #   3. go test ./...                                 full test suite
-#   4. go test -race internal/runtime + internal/trace
-#      The runtime's lock-free deques and the tracer's per-worker ring
-#      buffers are the two places where a data race would silently
-#      corrupt results; the race detector is the authority on both.
+#   4. go test -race internal/runtime + internal/trace + internal/server
+#      + cmd/adwsd
+#      The runtime's lock-free deques, the tracer's per-worker ring
+#      buffers, and the job-serving admission path are the places where a
+#      data race would silently corrupt results; the race detector is the
+#      authority on all of them.
 #
 # Usage: scripts/check.sh   (from the repo root, or anywhere inside it)
 set -euo pipefail
@@ -24,7 +26,7 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/runtime/... ./internal/trace/..."
-go test -race ./internal/runtime/... ./internal/trace/...
+echo "==> go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/..."
+go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/...
 
 echo "OK: all checks passed"
