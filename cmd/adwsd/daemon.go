@@ -211,6 +211,8 @@ func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE adws_steals_total counter\nadws_steals_total %d\n", st.Steals)
 	fmt.Fprintf(w, "# TYPE adws_steal_attempts_total counter\nadws_steal_attempts_total %d\n", st.StealAttempts)
 	fmt.Fprintf(w, "# TYPE adws_migrations_total counter\nadws_migrations_total %d\n", st.Migrations)
+	fmt.Fprintf(w, "# TYPE adws_parks_total counter\nadws_parks_total %d\n", st.Parks)
+	fmt.Fprintf(w, "# TYPE adws_wakes_total counter\nadws_wakes_total %d\n", st.Wakes)
 	fmt.Fprintf(w, "# TYPE adws_busy_seconds_total counter\nadws_busy_seconds_total %g\n", float64(st.BusyNS)/1e9)
 	fmt.Fprintf(w, "# TYPE adws_idle_seconds_total counter\nadws_idle_seconds_total %g\n", float64(st.IdleNS)/1e9)
 	fmt.Fprintf(w, "# TYPE adws_workers gauge\nadws_workers %d\n", d.pool.NumWorkers())

@@ -227,6 +227,7 @@ func TestDaemonHealthAndMetrics(t *testing.T) {
 	body := string(raw)
 	for _, want := range []string{
 		"adws_tasks_total", "adws_steals_total", "adws_workers 2",
+		"adws_parks_total", "adws_wakes_total",
 		"adws_jobs_queued 0", "adws_jobs_running 0",
 		// Pool idle + -tracemetrics: the trace-derived section appears.
 		"adws_trace_steal_success_rate",

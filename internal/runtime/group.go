@@ -2,7 +2,6 @@ package runtime
 
 import (
 	gort "runtime"
-	"time"
 
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/trace"
@@ -30,6 +29,7 @@ func (c *Ctx) Group(h GroupHint) *TaskGroup {
 		workAll: h.Work,
 		size:    h.Size,
 	}
+	g.waiter.Store(-1)
 
 	dom := c.cur.dom
 	rng := c.cur.rng
@@ -107,7 +107,7 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		// the owner pops LIFO, thieves steal the oldest.
 		t.ent = g.ent
 		g.ent.push(t, false)
-		g.pool.broadcast()
+		g.pool.wakeFor(g.ent, t.job)
 		return
 	}
 
@@ -130,7 +130,7 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		if t.job != nil {
 			t.job.migrations.Add(1)
 		}
-		g.pool.broadcast()
+		g.pool.wakeFor(ent, t.job)
 	case sched.KindExecute:
 		// The unique cross-worker child owned by the spawning entity: the
 		// paper executes it immediately in the work-first manner; with
@@ -141,7 +141,7 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		t.ent = g.ent
 		t.inMigration = g.parent.cur.inMigration && !g.fresh
 		g.ent.push(t, t.inMigration)
-		g.pool.broadcast()
+		g.pool.wakeFor(g.ent, t.job)
 	}
 }
 
@@ -188,16 +188,21 @@ func (tg *TaskGroup) Wait() {
 			searchStart = now()
 		}
 		spins++
-		if spins < 8 {
+		if spins < parkSpins {
 			gort.Gosched()
 			continue
 		}
-		seq := p.pushSeq.Load()
-		p.idleMu.Lock()
-		if p.pushSeq.Load() == seq && g.remaining.Load() > 0 {
-			waitWithTimeout(p.idleCond, &p.idleMu, 100*time.Microsecond)
+		// Park until the group's last child completes or a push targets
+		// this worker; the recheck inside park closes the race where the
+		// completion landed between findTask and advertising.
+		spins = 0
+		if t := w.park(g, g.childDepth); t != nil {
+			if searchStart != 0 {
+				w.waitIdleNS.Add(now() - searchStart)
+				searchStart = 0
+			}
+			w.execute(t)
 		}
-		p.idleMu.Unlock()
 	}
 	if searchStart != 0 {
 		w.waitIdleNS.Add(now() - searchStart)

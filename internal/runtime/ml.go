@@ -164,7 +164,15 @@ func (p *Pool) flattenLocked(w *worker, caches []*topology.Cache, g *taskGroup) 
 		ww.fdEnts = append(ww.fdEnts, ent)
 		ww.fdMu.Unlock()
 	}
-	p.broadcast()
+	// Wake the parked participants so they pick up their flattened
+	// entities; non-members need not stir.
+	if p.nparked.Load() != 0 {
+		for _, ent := range d.entities {
+			if ent.workerID != w.id {
+				p.tryWake(p.workers[ent.workerID])
+			}
+		}
+	}
 	p.traceBoundary(w, trace.BoundaryFlatten, d, d.level)
 	return d, d.fullRange(), d.entities[pos]
 }

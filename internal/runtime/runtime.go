@@ -105,10 +105,11 @@ type Pool struct {
 		caches [][]*mlCache
 	}
 
-	// idleGate parks idle workers; pushes broadcast.
-	idleMu   sync.Mutex
-	idleCond *sync.Cond
-	pushSeq  atomic.Int64
+	// idleWords is the parked-worker bitmask (bit w&63 of word w>>6) and
+	// nparked its mirror count, the producers' one-atomic-load fast path.
+	// See park.go for the parking/wakeup protocol.
+	idleWords []paddedWord
+	nparked   atomic.Int32
 
 	shutdown atomic.Bool
 	wg       sync.WaitGroup
@@ -127,8 +128,20 @@ type Pool struct {
 	jobSeq atomic.Int64
 }
 
-// ErrClosed is returned by SubmitRoot on a closed pool.
+// paddedWord is an atomic.Uint64 padded to its own cache line so idle-mask
+// words do not false-share.
+type paddedWord struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// ErrClosed is returned by SubmitRoot on a closed pool, and by RootJob.Err
+// on jobs whose root was still unclaimed when the pool closed.
 var ErrClosed = errors.New("runtime: pool is closed")
+
+// ErrBadRange is returned by SubmitRoot when the requested placement
+// fraction is empty, reversed, or NaN.
+var ErrBadRange = errors.New("runtime: invalid root range (need lo < hi)")
 
 // RootJob tracks one injected root computation: a completion signal plus
 // per-job scheduling counters maintained by the workers (every task
@@ -137,6 +150,9 @@ type RootJob struct {
 	id   int64
 	rng  sched.Range
 	done chan struct{}
+	// err is set (before done closes) when the job failed without running,
+	// e.g. the pool closed while the root was still unclaimed.
+	err atomic.Pointer[error]
 
 	tasks, steals, migrations atomic.Int64
 }
@@ -146,8 +162,25 @@ type RootJob struct {
 func (j *RootJob) ID() int64 { return j.id }
 
 // Done is closed when the root task and everything it transitively spawned
-// and awaited completed.
+// and awaited completed — or when the job failed without running (see Err).
 func (j *RootJob) Done() <-chan struct{} { return j.done }
+
+// Err reports why the job failed without running: ErrClosed when the pool
+// was closed while the root was still queued, nil for jobs that ran (task
+// bodies have no error channel of their own). Err is safe to call at any
+// time; it is final once Done is closed.
+func (j *RootJob) Err() error {
+	if e := j.err.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// fail completes the job without running it.
+func (j *RootJob) fail(err error) {
+	j.err.Store(&err)
+	close(j.done)
+}
 
 // Range returns the distribution range the root task was placed with, in
 // root-domain entity units.
@@ -219,6 +252,9 @@ type taskGroup struct {
 	execChild *task
 	// remaining counts unfinished children.
 	remaining atomic.Int32
+	// waiter is the worker id parked in this group's Wait (-1 none): the
+	// last child's completion wakes exactly that worker (park.go).
+	waiter atomic.Int32
 	// spawned counts Spawn calls (diagnostics).
 	spawned int
 	// tiedTo / flattened mirror the multi-level state.
@@ -250,15 +286,16 @@ func NewPool(cfg Config) *Pool {
 		cfg.Machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
 	}
 	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy, tracer: cfg.Tracer}
-	p.idleCond = sync.NewCond(&p.idleMu)
 	n := cfg.Machine.NumWorkers()
 	if p.tracer != nil && p.tracer.NumWorkers() < n {
 		panic(fmt.Sprintf("runtime: tracer has %d worker rings, pool needs %d",
 			p.tracer.NumWorkers(), n))
 	}
+	p.idleWords = make([]paddedWord, (n+63)/64)
 	p.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
-		p.workers[i] = &worker{id: i, pool: p, rng: sched.NewRNG(cfg.Seed, i)}
+		p.workers[i] = &worker{id: i, pool: p, rng: sched.NewRNG(cfg.Seed, i),
+			parkCh: make(chan struct{}, 1)}
 	}
 	p.initTopology()
 	for _, w := range p.workers {
@@ -274,10 +311,25 @@ func (p *Pool) NumWorkers() int { return len(p.workers) }
 // Policy returns the pool's scheduling policy.
 func (p *Pool) Policy() Policy { return p.policy }
 
-// Close stops all workers. Outstanding Runs must have completed.
+// Close stops all workers. Outstanding Runs must have completed. Roots
+// submitted but not yet claimed by a worker are failed: their Done channel
+// closes and their Err reports ErrClosed, so no Submit caller is left
+// blocked on an abandoned job.
 func (p *Pool) Close() {
 	p.shutdown.Store(true)
-	p.broadcast()
+	// Drain the root queue before waking the workers: a root no worker
+	// ever claimed would otherwise strand its job's Done forever.
+	p.rootMu.Lock()
+	orphans := p.rootQ
+	p.rootQ = nil
+	p.rootN.Store(0)
+	p.rootMu.Unlock()
+	for _, t := range orphans {
+		if t.job != nil {
+			t.job.fail(ErrClosed)
+		}
+	}
+	p.wakeAllParked()
 	p.wg.Wait()
 }
 
@@ -305,21 +357,26 @@ func (p *Pool) Run(fn func(*Ctx)) {
 // dynamic load balancing). A single in-flight SubmitRoot over [0, 1)
 // behaves exactly like Run.
 //
-// SubmitRoot returns ErrClosed on a closed pool. Roots submitted before
-// Close that no worker claimed yet are abandoned: their Done channel never
-// closes.
+// SubmitRoot returns ErrClosed on a closed pool and ErrBadRange when the
+// fraction is NaN or empty (hi <= lo after clamping to [0, 1]): a silently
+// remapped range would defeat the caller's placement hints. Roots
+// submitted before Close that no worker claimed yet are failed by Close:
+// their Done closes and Err reports ErrClosed.
 func (p *Pool) SubmitRoot(fn func(*Ctx), lo, hi float64) (*RootJob, error) {
 	if p.shutdown.Load() {
 		return nil, ErrClosed
 	}
-	if math.IsNaN(lo) || lo < 0 {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, fmt.Errorf("%w: [%v, %v)", ErrBadRange, lo, hi)
+	}
+	if lo < 0 {
 		lo = 0
 	}
-	if math.IsNaN(hi) || hi > 1 {
+	if hi > 1 {
 		hi = 1
 	}
 	if hi <= lo {
-		lo, hi = 0, 1
+		return nil, fmt.Errorf("%w: [%v, %v)", ErrBadRange, lo, hi)
 	}
 	d := p.rootDom
 	n := float64(len(d.entities))
@@ -330,13 +387,14 @@ func (p *Pool) SubmitRoot(fn func(*Ctx), lo, hi float64) (*RootJob, error) {
 		rng.X = off + n - 1
 	}
 	j := &RootJob{id: p.jobSeq.Add(1), rng: rng, done: make(chan struct{})}
+	owner := d.entities[d.physical(rng.Owner())]
 	root := &task{
 		fn: func(c *Ctx) {
 			fn(c)
 			close(j.done)
 		},
 		dom: d,
-		ent: d.entities[d.physical(rng.Owner())],
+		ent: owner,
 		rng: rng,
 		job: j,
 	}
@@ -351,7 +409,7 @@ func (p *Pool) SubmitRoot(fn func(*Ctx), lo, hi float64) (*RootJob, error) {
 	p.rootQ = append(p.rootQ, root)
 	p.rootN.Store(int32(len(p.rootQ)))
 	p.rootMu.Unlock()
-	p.broadcast()
+	p.wakeForRoot(owner)
 	return j, nil
 }
 
@@ -365,7 +423,12 @@ func (p *Pool) claimRoot(cands []*entity) *task {
 	for i, t := range p.rootQ {
 		for _, ent := range cands {
 			if t.ent == ent {
-				p.rootQ = append(p.rootQ[:i], p.rootQ[i+1:]...)
+				copy(p.rootQ[i:], p.rootQ[i+1:])
+				// Nil the vacated tail slot: a stale *task pointer in the
+				// backing array would keep the finished job's closure (and
+				// whatever it captures) alive until the slot is reused.
+				p.rootQ[len(p.rootQ)-1] = nil
+				p.rootQ = p.rootQ[:len(p.rootQ)-1]
 				p.rootN.Store(int32(len(p.rootQ)))
 				return t
 			}
@@ -378,6 +441,9 @@ func (p *Pool) claimRoot(cands []*entity) *task {
 type WorkerStats struct {
 	Worker                                   int
 	Tasks, Steals, StealAttempts, Migrations int64
+	// Parks counts times the worker blocked on its parker; Wakes counts
+	// wake tokens it consumed (parkCancel absorptions are neither).
+	Parks, Wakes int64
 	// BusyNS and IdleNS follow the same accounting as Stats.
 	BusyNS, IdleNS int64
 }
@@ -385,6 +451,10 @@ type WorkerStats struct {
 // Stats aggregates per-worker counters.
 type Stats struct {
 	Tasks, Steals, StealAttempts, Migrations int64
+	// Parks and Wakes count worker park/wake cycles: on an idle pool both
+	// stay flat (workers block indefinitely instead of polling), and under
+	// load Wakes approximates the number of productive wakeups.
+	Parks, Wakes int64
 	// BusyNS and IdleNS are wall-clock nanoseconds summed over workers:
 	// time executing tasks and time searching for work (the paper's §6.1
 	// busy/idle profile; the nested execution of helping waits counts as
@@ -408,13 +478,22 @@ func (p *Pool) Stats() Stats {
 	s := Stats{PerWorker: make([]WorkerStats, len(p.workers))}
 	for i, w := range p.workers {
 		wi := w.waitIdleNS.Load()
+		busy := w.busyNS.Load() - wi
+		if busy < 0 {
+			// waitIdleNS accumulates inside a still-open busy span: until
+			// the outer busyNS add lands the difference can transiently go
+			// negative. Clamp rather than report nonsense mid-run.
+			busy = 0
+		}
 		ws := WorkerStats{
 			Worker:        i,
 			Tasks:         w.tasks.Load(),
 			Steals:        w.steals.Load(),
 			StealAttempts: w.stealAttempts.Load(),
 			Migrations:    w.migrations.Load(),
-			BusyNS:        w.busyNS.Load() - wi,
+			Parks:         w.parks.Load(),
+			Wakes:         w.wakes.Load(),
+			BusyNS:        busy,
 			IdleNS:        w.idleNS.Load() + wi,
 		}
 		s.PerWorker[i] = ws
@@ -422,18 +501,12 @@ func (p *Pool) Stats() Stats {
 		s.Steals += ws.Steals
 		s.StealAttempts += ws.StealAttempts
 		s.Migrations += ws.Migrations
+		s.Parks += ws.Parks
+		s.Wakes += ws.Wakes
 		s.BusyNS += ws.BusyNS
 		s.IdleNS += ws.IdleNS
 	}
 	return s
-}
-
-// broadcast wakes every parked worker.
-func (p *Pool) broadcast() {
-	p.pushSeq.Add(1)
-	p.idleMu.Lock()
-	p.idleCond.Broadcast()
-	p.idleMu.Unlock()
 }
 
 // worker is one scheduler loop.
@@ -447,6 +520,11 @@ type worker struct {
 	// fdMu guards fdEnts (flattened-domain entities, newest last).
 	fdMu   sync.Mutex
 	fdEnts []*entity
+
+	// parkCh is the worker's one-slot wake semaphore (see park.go); parks
+	// and wakes count blocking park cycles.
+	parkCh       chan struct{}
+	parks, wakes atomic.Int64
 
 	tasks, steals, stealAttempts, migrations atomic.Int64
 	// busyNS and idleNS accumulate wall-clock task-execution and
@@ -497,36 +575,18 @@ func (w *worker) loop(pin bool) {
 		}
 		w.markIdleStart()
 		idleSpins++
-		if idleSpins < 8 {
+		if idleSpins < parkSpins {
 			gort.Gosched()
 			continue
 		}
-		// Park until a push or shutdown; re-check with a timeout so no
-		// wake-up race can strand us.
-		seq := p.pushSeq.Load()
-		p.idleMu.Lock()
-		if p.pushSeq.Load() == seq && !p.shutdown.Load() {
-			waitWithTimeout(p.idleCond, &p.idleMu, 200*time.Microsecond)
+		// Park until a targeted wakeup (push, root submission, shutdown).
+		// No timeout: a fully idle pool blocks and burns zero CPU.
+		idleSpins = 0
+		if t := w.park(nil, 0); t != nil {
+			w.markIdleEnd()
+			w.execute(t)
 		}
-		p.idleMu.Unlock()
 	}
-}
-
-// waitWithTimeout approximates a timed condition wait: a helper goroutine
-// broadcasts after the timeout. The caller must hold mu.
-func waitWithTimeout(cond *sync.Cond, mu *sync.Mutex, d time.Duration) {
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-time.After(d):
-			mu.Lock()
-			cond.Broadcast()
-			mu.Unlock()
-		case <-done:
-		}
-	}()
-	cond.Wait()
-	close(done)
 }
 
 // execute runs one task to completion.
@@ -559,7 +619,10 @@ func (w *worker) execute(t *task) {
 	w.pool.taskDone(t)
 }
 
-// taskDone propagates a task's completion to its group.
+// taskDone propagates a task's completion to its group. Completions create
+// no new work, so the only worker a completion can unblock is the group's
+// waiting parent — and only the LAST completion unblocks it. The fast path
+// is one atomic decrement; the old global broadcast is gone.
 func (p *Pool) taskDone(t *task) {
 	g := t.pg
 	if g == nil {
@@ -568,8 +631,9 @@ func (p *Pool) taskDone(t *task) {
 	if t.crossWorker && g.node != nil {
 		g.node.CrossTaskCompleted()
 	}
-	g.remaining.Add(-1)
-	// The waiting parent spins in Wait; wake parked helpers too, since a
-	// completion can unblock whole subtrees.
-	p.broadcast()
+	if g.remaining.Add(-1) == 0 && p.nparked.Load() != 0 {
+		if id := g.waiter.Load(); id >= 0 {
+			p.tryWake(p.workers[id])
+		}
+	}
 }

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"context"
+	"errors"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -119,10 +121,11 @@ func TestSubmitRootPlacement(t *testing.T) {
 	}
 }
 
-// TestSubmitRootClampsRange pins the defensive clamping of bad fractions.
+// TestSubmitRootClampsRange pins the defensive clamping of out-of-bounds
+// but well-ordered fractions.
 func TestSubmitRootClampsRange(t *testing.T) {
 	p := newFlatPool(t, ADWS, 4)
-	for _, tc := range [][2]float64{{-1, 2}, {0.5, 0.25}, {0, 0}} {
+	for _, tc := range [][2]float64{{-1, 2}, {-0.5, 0.5}, {0.25, 1.75}} {
 		j, err := p.SubmitRoot(func(c *Ctx) {}, tc[0], tc[1])
 		if err != nil {
 			t.Fatalf("SubmitRoot(%v, %v): %v", tc[0], tc[1], err)
@@ -131,6 +134,31 @@ func TestSubmitRootClampsRange(t *testing.T) {
 		rng := j.Range()
 		if rng.X < 0 || rng.Y > 4 || rng.X >= rng.Y {
 			t.Errorf("SubmitRoot(%v, %v): range %v out of bounds", tc[0], tc[1], rng)
+		}
+	}
+}
+
+// TestSubmitRootBadRange pins the explicit rejection of invalid ranges: a
+// silently remapped range would land a buggy caller's job on the whole
+// pool and defeat placement hints, so empty, reversed, and NaN fractions
+// must fail loudly with ErrBadRange.
+func TestSubmitRootBadRange(t *testing.T) {
+	p := newFlatPool(t, ADWS, 4)
+	for _, tc := range [][2]float64{
+		{0.5, 0.5},               // empty: lo == hi
+		{0, 0},                   // empty at the origin
+		{0.5, 0.25},              // reversed
+		{math.NaN(), 1},          // NaN lo
+		{0, math.NaN()},          // NaN hi
+		{math.NaN(), math.NaN()}, // both NaN
+		{2, 3},                   // empty after clamping (both above 1)
+	} {
+		j, err := p.SubmitRoot(func(c *Ctx) { t.Error("bad-range root ran") }, tc[0], tc[1])
+		if !errors.Is(err, ErrBadRange) {
+			t.Errorf("SubmitRoot(%v, %v): err = %v, want ErrBadRange", tc[0], tc[1], err)
+		}
+		if j != nil {
+			t.Errorf("SubmitRoot(%v, %v): returned a job alongside the error", tc[0], tc[1])
 		}
 	}
 }

@@ -274,7 +274,12 @@ func (s *Server) reap(j *Job, work float64) {
 	defer s.mu.Unlock()
 	s.running--
 	s.workSum -= work
-	if j.err != nil {
+	// A root can complete without running: Pool.Close fails unclaimed
+	// roots with runtime.ErrClosed. That error outranks anything the job
+	// body recorded (the body never ran).
+	if rerr := j.root.Err(); rerr != nil {
+		s.completeLocked(j, Failed, rerr)
+	} else if j.err != nil {
 		s.completeLocked(j, Failed, j.err)
 	} else {
 		s.completeLocked(j, Done, nil)

@@ -257,6 +257,57 @@ func TestCloseCancelsQueued(t *testing.T) {
 	wait(t, b) // the running job still completes
 }
 
+// TestPoolCloseFailsDispatchedJob pins the propagation of the pool's
+// Close drain through the job layer: a job whose root was submitted to
+// the pool but never claimed by a worker must finish Failed with
+// runtime.ErrClosed, not hang or report Done.
+func TestPoolCloseFailsDispatchedJob(t *testing.T) {
+	s, p := newTestServer(t, 1, Config{MaxInFlight: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	j1, err := s.Submit(context.Background(), func(*runtime.Ctx) error {
+		close(started)
+		<-release
+		return nil
+	}, Hint{Work: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// MaxInFlight 2 dispatches j2's root to the pool immediately, but the
+	// only worker is pinned inside j1's body, so the root stays queued.
+	j2, err := s.Submit(context.Background(), func(*runtime.Ctx) error {
+		t.Error("orphaned job body ran")
+		return nil
+	}, Hint{Work: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	wait(t, j2)
+	if j2.State() != Failed || !errors.Is(j2.Err(), runtime.ErrClosed) {
+		t.Errorf("orphaned job after pool Close: state %v err %v, want Failed/ErrClosed",
+			j2.State(), j2.Err())
+	}
+
+	close(release)
+	wait(t, j1)
+	if j1.State() != Done || j1.Err() != nil {
+		t.Errorf("running job after pool Close: state %v err %v, want Done/nil",
+			j1.State(), j1.Err())
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool Close did not return")
+	}
+}
+
 // TestPlacementDividesWorkers pins hint-guided placement: two concurrent
 // jobs with 3:1 work hints receive adjacent range fractions 0.75 and 0.25.
 func TestPlacementDividesWorkers(t *testing.T) {

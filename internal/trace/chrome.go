@@ -75,7 +75,10 @@ func WriteChromeTrace(w io.Writer, events []Event, workers int) error {
 			ce.Ph, ce.Cat, ce.Name = "B", "wait", "wait"
 			ce.Args = map[string]any{"task": ev.Task, "depth": ev.Depth}
 			open[tid]++
-		case EvTaskEnd, EvWaitExit:
+		case EvPark:
+			ce.Ph, ce.Cat, ce.Name = "B", "park", "parked"
+			open[tid]++
+		case EvTaskEnd, EvWaitExit, EvWake:
 			if open[tid] == 0 {
 				continue // begin lost to wraparound
 			}

@@ -17,6 +17,11 @@ type WorkerSummary struct {
 	// this worker (time in Event.Time units).
 	WaitCount int64
 	WaitTime  int64
+	// Parks and Wakes count the worker's park/wake cycles; ParkTime is the
+	// total time spent blocked (paired EvPark→EvWake spans).
+	Parks    int64
+	Wakes    int64
+	ParkTime int64
 }
 
 // Summary is the derived-metrics view of a trace: per-worker task counts,
@@ -34,6 +39,13 @@ type Summary struct {
 	Migrations    int64
 	WaitCount     int64
 	WaitTime      int64
+	// Parks/Wakes/ParkTime are the wakeup-path counters: how often workers
+	// blocked on their parkers and for how long. An idle pool accumulates
+	// park time but no new parks; a broadcast storm would show as a high
+	// wake count with near-zero park times.
+	Parks    int64
+	Wakes    int64
+	ParkTime int64
 
 	// StealDistance[d] counts successful steals whose victim was d logical
 	// entities away from the thief.
@@ -68,8 +80,13 @@ func Summarize(events []Event, workers int) Summary {
 		s.PerWorker[i].Worker = i
 	}
 	// waitStart tracks the open wait per waiting task ordinal (a task's
-	// groups are sequential, so one slot per task suffices).
+	// groups are sequential, so one slot per task suffices); parkStart the
+	// open park per worker.
 	waitStart := make(map[int64]int64)
+	parkStart := make([]int64, workers)
+	for i := range parkStart {
+		parkStart[i] = -1
+	}
 	for _, ev := range events {
 		if int(ev.Worker) >= workers || ev.Worker < 0 {
 			continue
@@ -113,6 +130,18 @@ func Summarize(events []Event, workers int) Summary {
 				w.WaitTime += ev.Time - t0
 				s.WaitCount++
 				s.WaitTime += ev.Time - t0
+			}
+		case EvPark:
+			w.Parks++
+			s.Parks++
+			parkStart[ev.Worker] = ev.Time
+		case EvWake:
+			w.Wakes++
+			s.Wakes++
+			if t0 := parkStart[ev.Worker]; t0 >= 0 {
+				parkStart[ev.Worker] = -1
+				w.ParkTime += ev.Time - t0
+				s.ParkTime += ev.Time - t0
 			}
 		case EvBoundary:
 			switch ev.Victim {
@@ -202,6 +231,10 @@ func (s Summary) String() string {
 	fmt.Fprintf(&b, "  dominant-group hit rate: %.2f (%d/%d)\n",
 		s.DominantGroupHitRate(), s.DominantHits, s.DominantHits+s.DominantMisses)
 	fmt.Fprintf(&b, "  waits: count=%d time=%d\n", s.WaitCount, s.WaitTime)
+	if s.Parks+s.Wakes > 0 {
+		fmt.Fprintf(&b, "  parking: parks=%d wakes=%d parked-time=%d\n",
+			s.Parks, s.Wakes, s.ParkTime)
+	}
 	if len(s.StealDistance) > 0 {
 		fmt.Fprintf(&b, "  steal distance:")
 		for d, n := range s.StealDistance {

@@ -57,6 +57,12 @@ const (
 	// Victim holds the BoundaryKind, Depth the cache level, Task the
 	// domain id involved.
 	EvBoundary
+	// EvPark marks a worker blocking on its parker after finding no work
+	// (spin → yield → park; see internal/runtime/park.go).
+	EvPark
+	// EvWake marks the matching unblock: a producer's targeted wakeup
+	// (push, root submission, group completion, or shutdown).
+	EvWake
 
 	numEventTypes = iota
 )
@@ -81,6 +87,10 @@ func (t EventType) String() string {
 		return "wait-exit"
 	case EvBoundary:
 		return "boundary"
+	case EvPark:
+		return "park"
+	case EvWake:
+		return "wake"
 	default:
 		return "unknown"
 	}

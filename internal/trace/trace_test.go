@@ -124,6 +124,11 @@ func TestSummarize(t *testing.T) {
 	tr.Record(1, Event{Type: EvStealFail, Time: 25, Self: 1})
 	tr.Record(0, Event{Type: EvBoundary, Time: 26, Victim: BoundaryTie, Depth: 1, Task: 7})
 	tr.Record(0, Event{Type: EvBoundary, Time: 27, Victim: BoundaryUntie, Depth: 1, Task: 7})
+	// Worker 1 runs dry, parks, and is woken 15 units later; a dangling
+	// park (no wake recorded yet) must not contribute park time.
+	tr.Record(1, Event{Type: EvPark, Time: 30})
+	tr.Record(1, Event{Type: EvWake, Time: 45})
+	tr.Record(0, Event{Type: EvPark, Time: 50})
 
 	s := tr.Summarize()
 	if s.Tasks != 2 || s.Steals != 1 || s.StealAttempts != 2 || s.StealFails != 1 || s.Migrations != 1 {
@@ -147,6 +152,12 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.Ties != 1 || s.Unties != 1 || s.Flattens != 0 {
 		t.Errorf("boundaries = ties %d unties %d flattens %d", s.Ties, s.Unties, s.Flattens)
+	}
+	if s.Parks != 2 || s.Wakes != 1 || s.ParkTime != 15 {
+		t.Errorf("parking = parks %d wakes %d time %d, want 2/1/15", s.Parks, s.Wakes, s.ParkTime)
+	}
+	if s.PerWorker[1].Parks != 1 || s.PerWorker[1].Wakes != 1 || s.PerWorker[1].ParkTime != 15 {
+		t.Errorf("per-worker parking wrong: %+v", s.PerWorker[1])
 	}
 	if s.PerWorker[0].Tasks != 1 || s.PerWorker[1].Tasks != 1 || s.PerWorker[1].Steals != 1 {
 		t.Errorf("per-worker breakdown wrong: %+v", s.PerWorker)

@@ -11,6 +11,10 @@
 #      buffers, and the job-serving admission path are the places where a
 #      data race would silently corrupt results; the race detector is the
 #      authority on all of them.
+#   5. go test -run='^$' -bench=. -benchtime=1x ./...   benchmark smoke
+#      One iteration of every benchmark, so a refactor that breaks a
+#      benchmark harness (or deadlocks the parked-pool submit path) fails
+#      here instead of at measurement time.
 #
 # Usage: scripts/check.sh   (from the repo root, or anywhere inside it)
 set -euo pipefail
@@ -28,5 +32,8 @@ go test ./...
 
 echo "==> go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/..."
 go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/...
+
+echo "==> go test -run='^\$' -bench=. -benchtime=1x ./...   (benchmark smoke)"
+go test -run='^$' -bench=. -benchtime=1x ./...
 
 echo "OK: all checks passed"
