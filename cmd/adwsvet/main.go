@@ -1,0 +1,75 @@
+// Command adwsvet runs the project's static-analysis suite (internal/lint)
+// over the given package patterns and fails the build on any violation of
+// the scheduler's concurrency invariants.
+//
+// Usage:
+//
+//	adwsvet [-list] [-only name[,name]] [packages ...]
+//
+// With no packages it analyzes ./..., mirroring go vet. Diagnostics are
+// printed one per line as file:line:col: [analyzer] message, and the exit
+// status is 1 when any were found. See docs/LINT.md for the analyzer
+// catalogue and the //adws: directive grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/parlab/adws/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adwsvet [-list] [-only name[,name]] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "adwsvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewModuleLoader("")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+		os.Exit(2)
+	}
+	u, err := loader.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := u.Run(analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "adwsvet: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicpadAnalyzer enforces the cache-line and atomic-alignment layout
+// rules:
+//
+//  1. A struct field whose type is named paddedWord, or annotated
+//     //adws:padded, must start at a 64-byte-aligned offset and span at
+//     least 64 bytes to the next non-padding field (blank "_" padding
+//     fields in between do not count), so the hot word owns its cache
+//     line and cannot false-share.
+//  2. A named type called paddedWord, or annotated //adws:padded on its
+//     type declaration, must have a size that is a nonzero multiple of 64
+//     so arrays and slices of it keep every element line-aligned.
+//  3. A plain int64/uint64 struct field passed to a 64-bit sync/atomic
+//     function must sit at an 8-byte-aligned offset under 32-bit
+//     (GOARCH=386) layout rules, mirroring the sync/atomic bugs documentation.
+//
+// Offsets use the gc layout for the respective GOARCH; structs involving
+// unresolved type parameters are skipped (they have no concrete layout).
+var atomicpadAnalyzer = &Analyzer{
+	Name: "atomicpad",
+	Doc:  "padded fields must be 64-byte aligned/padded; atomic 64-bit operands aligned on 32-bit targets",
+	Run:  runAtomicpad,
+}
+
+const cacheLine = 64
+
+func runAtomicpad(u *Universe) []Diagnostic {
+	var diags []Diagnostic
+	sizes64 := types.SizesFor("gc", "amd64")
+	sizes32 := types.SizesFor("gc", "386")
+	for _, p := range u.Targets {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeSpec:
+					diags = append(diags, checkPaddedType(u, p, n, sizes64)...)
+				case *ast.StructType:
+					diags = append(diags, checkStructPadding(u, p, n, sizes64)...)
+				case *ast.CallExpr:
+					diags = append(diags, checkAtomic64Alignment(u, p, n, sizes32)...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// checkPaddedType enforces rule 2 on type declarations.
+func checkPaddedType(u *Universe, p *Package, ts *ast.TypeSpec, sizes types.Sizes) []Diagnostic {
+	padded := ts.Name.Name == "paddedWord" || hasDirective("padded", ts.Doc, ts.Comment)
+	if !padded {
+		return nil
+	}
+	obj := p.Info.Defs[ts.Name]
+	if obj == nil {
+		return nil
+	}
+	size, ok := sizeofSafe(sizes, obj.Type())
+	if !ok {
+		return nil
+	}
+	if size == 0 || size%cacheLine != 0 {
+		return []Diagnostic{{
+			Pos:      u.position(ts.Name.Pos()),
+			Analyzer: "atomicpad",
+			Message: fmt.Sprintf("padded type %s has size %d, want a nonzero multiple of %d so array elements stay cache-line aligned",
+				ts.Name.Name, size, cacheLine),
+		}}
+	}
+	return nil
+}
+
+// checkStructPadding enforces rule 1 on every struct literal type
+// (named or anonymous).
+func checkStructPadding(u *Universe, p *Package, st *ast.StructType, sizes types.Sizes) []Diagnostic {
+	// Find which declared fields are annotated, keyed by flattened index.
+	type want struct {
+		idx  int
+		name string
+	}
+	var wants []want
+	idx := 0
+	for _, field := range st.Fields.List {
+		padded := hasDirective("padded", field.Doc, field.Comment) || isPaddedWordType(p, field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for i := 0; i < n; i++ {
+			if padded {
+				name := "(embedded)"
+				if len(field.Names) > 0 {
+					name = field.Names[i].Name
+				}
+				wants = append(wants, want{idx: idx, name: name})
+			}
+			idx++
+		}
+	}
+	if len(wants) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[st]
+	if !ok {
+		return nil
+	}
+	styp, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	offsets, size, ok := offsetsofSafe(sizes, styp)
+	if !ok {
+		return nil // involves type parameters; no concrete layout
+	}
+	var diags []Diagnostic
+	for _, w := range wants {
+		off := offsets[w.idx]
+		// The span runs to the next non-padding field: explicit blank "_"
+		// fields are the padding idiom and do not end the span.
+		next := size
+		for j := w.idx + 1; j < styp.NumFields(); j++ {
+			if styp.Field(j).Name() != "_" {
+				next = offsets[j]
+				break
+			}
+		}
+		pos := u.position(st.Fields.List[0].Pos())
+		if id := fieldIdentAt(st, w.idx); id != nil {
+			pos = u.position(id.Pos())
+		}
+		if off%cacheLine != 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "atomicpad",
+				Message: fmt.Sprintf("padded field %s is at offset %d, want a multiple of %d (move it or insert _ [N]byte padding before it)",
+					w.name, off, cacheLine),
+			})
+		}
+		if span := next - off; span < cacheLine {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "atomicpad",
+				Message: fmt.Sprintf("padded field %s spans only %d bytes before the next field, want >= %d (add _ [N]byte padding after it)",
+					w.name, span, cacheLine),
+			})
+		}
+	}
+	return diags
+}
+
+// fieldIdentAt returns the name identifier of the flattened field index
+// in the struct's AST, or nil for embedded fields.
+func fieldIdentAt(st *ast.StructType, target int) *ast.Ident {
+	idx := 0
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			if idx == target {
+				return nil
+			}
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if idx == target {
+				return name
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// isPaddedWordType reports whether the field type expression resolves to
+// a named type called paddedWord.
+func isPaddedWordType(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "paddedWord"
+}
+
+// atomic64Funcs are the sync/atomic package-level functions with a 64-bit
+// address operand.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// checkAtomic64Alignment enforces rule 3 at sync/atomic call sites.
+func checkAtomic64Alignment(u *Universe, p *Package, call *ast.CallExpr, sizes32 types.Sizes) []Diagnostic {
+	fn := calleeOf(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	// Accumulate the operand's offset from its enclosing allocation:
+	// field offsets are summed outward through value (non-pointer)
+	// receivers; a pointer receiver is an allocation boundary, and Go
+	// guarantees the first word of an allocation is 64-bit aligned.
+	off := int64(0)
+	for {
+		s := p.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return nil
+		}
+		o, ok := selectionOffset(sizes32, s)
+		if !ok {
+			return nil
+		}
+		off += o
+		if _, isPtr := s.Recv().Underlying().(*types.Pointer); isPtr {
+			break
+		}
+		next, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		sel = next
+	}
+	if off%8 != 0 {
+		return []Diagnostic{{
+			Pos:      u.position(call.Args[0].Pos()),
+			Analyzer: "atomicpad",
+			Message: fmt.Sprintf("64-bit %s operand is at offset %d under 32-bit layout; sync/atomic requires 8-byte alignment (reorder the field to the front of the struct or use atomic.Int64/Uint64)",
+				"atomic."+fn.Name(), off),
+		}}
+	}
+	return nil
+}
+
+// selectionOffset computes the byte offset of a field selection within
+// its receiver struct, following the embedded-field index path.
+func selectionOffset(sizes types.Sizes, s *types.Selection) (int64, bool) {
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	var off int64
+	for _, idx := range s.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		offsets, _, ok := offsetsofSafe(sizes, st)
+		if !ok {
+			return 0, false
+		}
+		off += offsets[idx]
+		t = st.Field(idx).Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			// An embedded pointer restarts the offset at its target.
+			t, off = p.Elem(), 0
+		}
+	}
+	return off, true
+}
+
+// sizeofSafe is Sizes.Sizeof with a recover guard: types containing
+// unresolved type parameters have no layout and panic inside gc sizes.
+func sizeofSafe(sizes types.Sizes, t types.Type) (size int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return sizes.Sizeof(t), true
+}
+
+// offsetsofSafe computes field offsets and total size with the same guard.
+func offsetsofSafe(sizes types.Sizes, st *types.Struct) (offsets []int64, size int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	return sizes.Offsetsof(fields), sizes.Sizeof(st), true
+}

@@ -1,0 +1,34 @@
+// Package bad exercises the atomicpad layout violations.
+package bad
+
+import "sync/atomic"
+
+// paddedWord is recognized by name; 8 bytes of content + 48 of padding is
+// 56 bytes, not a cache line.
+type paddedWord struct { // want `padded type paddedWord has size 56`
+	atomic.Uint64
+	_ [48]byte
+}
+
+// misaligned places the padded word after an 8-byte field.
+type misaligned struct {
+	seq int64
+	hot paddedWord // want `padded field hot is at offset 8` `spans only 56 bytes`
+}
+
+// crowded annotates a counter that shares its line with the next field.
+type crowded struct {
+	count atomic.Int64 //adws:padded want `padded field count spans only 8 bytes`
+	next  int64
+}
+
+// skewed has a 64-bit counter that lands on a 4-byte boundary under
+// 32-bit layout rules.
+type skewed struct {
+	flag int32
+	n    int64
+}
+
+func bump(s *skewed) {
+	atomic.AddInt64(&s.n, 1) // want `64-bit atomic.AddInt64 operand is at offset 4`
+}

@@ -1,0 +1,29 @@
+// Package good contains layouts that satisfy the atomicpad analyzer.
+package good
+
+import "sync/atomic"
+
+// paddedWord fills exactly one cache line.
+type paddedWord struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// mask keeps each padded word on its own line; the blank padding field
+// does not end the annotated field's span.
+type mask struct {
+	words [4]paddedWord
+	hot   atomic.Int64 //adws:padded
+	_     [56]byte
+	cold  int64
+}
+
+// aligned keeps its 64-bit counter at offset 0, aligned on every target.
+type aligned struct {
+	n    int64
+	flag int32
+}
+
+func bump(s *aligned) {
+	atomic.AddInt64(&s.n, 1)
+}

@@ -1,0 +1,16 @@
+// Package bad holds an EventType switch that silently ignores an event.
+package bad
+
+import "trace"
+
+func count(events []trace.Event) (begins, ends int) {
+	for _, ev := range events {
+		switch ev.Type { // want `missing cases EvSteal`
+		case trace.EvTaskBegin:
+			begins++
+		case trace.EvTaskEnd:
+			ends++
+		}
+	}
+	return
+}

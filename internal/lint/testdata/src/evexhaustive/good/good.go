@@ -1,0 +1,35 @@
+// Package good holds EventType switches that satisfy the analyzer: full
+// coverage, or an explicit default making partial handling deliberate.
+package good
+
+import "trace"
+
+func full(ev trace.Event) string {
+	switch ev.Type {
+	case trace.EvTaskBegin:
+		return "begin"
+	case trace.EvTaskEnd:
+		return "end"
+	case trace.EvSteal:
+		return "steal"
+	}
+	return "unknown"
+}
+
+func deliberate(ev trace.Event) bool {
+	switch ev.Type {
+	case trace.EvSteal:
+		return true
+	default:
+		return false
+	}
+}
+
+// notEventType must not trigger: same shape, different tag type.
+func notEventType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+// Package bad exercises every construct the hotpath analyzer bans.
+package bad
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+//adws:hotpath
+func (s *q) Push(v int) {
+	s.mu.Lock() // want `locks sync.Mutex`
+	s.n = v
+	s.mu.Unlock()
+}
+
+//adws:hotpath
+func (s *q) Pop() int {
+	defer func() {}() // want `defer is not allowed`
+	return s.n
+}
+
+//adws:hotpath
+func (s *q) Notify() {
+	s.ch <- 1 // want `channel send`
+}
+
+//adws:hotpath
+func (s *q) Drain() {
+	<-s.ch // want `channel receive`
+}
+
+//adws:hotpath
+func (s *q) Log() {
+	fmt.Println(s.n) // want `calls fmt.Println`
+}
+
+//adws:hotpath
+func (s *q) Nap() {
+	time.Sleep(time.Millisecond) // want `calls time.Sleep`
+}
+
+// helper is not annotated itself; the violation is reached transitively.
+func (s *q) helper() {
+	s.mu.Lock() // want `locks sync.Mutex`
+	s.mu.Unlock()
+}
+
+//adws:hotpath
+func (s *q) Transitive() {
+	s.helper()
+}

@@ -1,0 +1,35 @@
+// Package good contains hot-path functions that satisfy the analyzer:
+// atomics, plain arithmetic, non-fmt stdlib calls, and the one-slot
+// wake-channel escape hatch.
+package good
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+type w struct {
+	mu     sync.Mutex
+	parkCh chan struct{}
+	n      atomic.Int64
+}
+
+//adws:hotpath
+func (s *w) Push(v int64) {
+	s.n.Add(v)
+	_ = math.Ceil(float64(v))
+}
+
+//adws:hotpath
+func (s *w) Wake() {
+	s.parkCh <- struct{}{} //adws:allow one-slot wake semaphore
+}
+
+// park is the slow path: it may lock, but it is not annotated and no hot
+// function calls it, so the analyzer never visits it.
+func (s *w) park() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.parkCh
+}

@@ -1,0 +1,16 @@
+// Package bad accesses a guarded field without its lock.
+package bad
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	// queue holds pending work.
+	queue []int //adws:locked(mu)
+}
+
+func (p *pool) drain() []int {
+	q := p.queue  // want `guarded by "mu"`
+	p.queue = nil // want `guarded by "mu"`
+	return q
+}

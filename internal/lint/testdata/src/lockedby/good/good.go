@@ -1,0 +1,38 @@
+// Package good accesses guarded fields with the lock held or under a
+// //adws:requires contract.
+package good
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	// queue holds pending work.
+	queue []int //adws:locked(mu)
+
+	// state demonstrates a lock promoted through an embedded mutex.
+	state struct {
+		sync.Mutex
+		leaders []int //adws:locked(state)
+	}
+}
+
+func (p *pool) push(v int) {
+	p.mu.Lock()
+	p.queue = append(p.queue, v)
+	p.mu.Unlock()
+}
+
+// drainLocked is called with p.mu held.
+//
+//adws:requires(mu)
+func (p *pool) drainLocked() []int {
+	q := p.queue
+	p.queue = nil
+	return q
+}
+
+func (p *pool) lead(id int) {
+	p.state.Lock()
+	p.state.leaders = append(p.state.leaders, id)
+	p.state.Unlock()
+}

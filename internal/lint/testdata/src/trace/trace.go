@@ -1,0 +1,21 @@
+// Package trace is a miniature stand-in for the real internal/trace: the
+// evexhaustive analyzer matches switches by the EventType type name and
+// the trace package name, so the harness exercises it without importing
+// the real runtime.
+package trace
+
+// EventType identifies one kind of scheduler event.
+type EventType uint8
+
+const (
+	EvTaskBegin EventType = iota
+	EvTaskEnd
+	EvSteal
+
+	numEventTypes = iota // untyped: must not count toward exhaustiveness
+)
+
+// Event is one event record.
+type Event struct {
+	Type EventType
+}
