@@ -96,6 +96,9 @@ func Summarize(events []Event, workers int) Summary {
 		case EvTaskBegin:
 			w.Tasks++
 			s.Tasks++
+		case EvTaskEnd:
+			// Task spans are counted at EvTaskBegin; the matching end
+			// carries no additional metric.
 		case EvStealAttempt:
 			w.StealAttempts++
 			s.StealAttempts++
