@@ -149,13 +149,17 @@ type Event struct {
 
 // ring is one worker's event buffer. Only the owning worker writes;
 // cursor counts every event ever recorded, so the occupied window is
-// [max(0, cursor-cap), cursor).
+// [max(0, cursor-cap), cursor). The cursor owns a full cache line and the
+// struct is padded to a whole number of lines, so in the tracer's rings
+// slice no worker's cursor store can invalidate a neighbour's cursor or
+// buffer header (layout enforced by adwsvet's atomicpad analyzer).
+//
+//adws:padded
 type ring struct {
+	cursor atomic.Int64 //adws:padded
+	_      [56]byte
 	buf    []Event
-	cursor atomic.Int64
-	// _pad spaces cursors apart so concurrent workers do not share a
-	// cache line through the rings slice.
-	_pad [48]byte //nolint:unused
+	_      [40]byte
 }
 
 func (r *ring) record(ev Event) {
@@ -219,6 +223,8 @@ func (t *Tracer) Capacity() int { return len(t.rings[0].buf) }
 // Record appends an event to worker w's ring, overwriting the oldest event
 // when full. It is the hot path: no locks, one atomic cursor update. Only
 // worker w's own goroutine may call Record(w, ...).
+//
+//adws:hotpath
 func (t *Tracer) Record(w int, ev Event) {
 	ev.Worker = int32(w)
 	t.rings[w].record(ev)
