@@ -48,6 +48,8 @@ func New[T any]() *Deque[T] {
 }
 
 // Len returns a point-in-time size estimate.
+//
+//adws:hotpath
 func (d *Deque[T]) Len() int {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -59,6 +61,8 @@ func (d *Deque[T]) Len() int {
 
 // PushBottom appends v at the owner's end. Only the owning worker may call
 // it.
+//
+//adws:hotpath
 func (d *Deque[T]) PushBottom(v *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -73,6 +77,8 @@ func (d *Deque[T]) PushBottom(v *T) {
 
 // PopBottom removes and returns the most recently pushed element. Only the
 // owning worker may call it.
+//
+//adws:hotpath
 func (d *Deque[T]) PopBottom() (*T, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()
@@ -100,6 +106,8 @@ func (d *Deque[T]) PopBottom() (*T, bool) {
 }
 
 // Steal removes and returns the oldest element. Any goroutine may call it.
+//
+//adws:hotpath
 func (d *Deque[T]) Steal() (*T, bool) {
 	for {
 		t := d.top.Load()

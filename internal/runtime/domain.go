@@ -18,7 +18,7 @@ type entity struct {
 	idx int
 
 	mu sync.Mutex
-	qs sched.QueueSet[*task]
+	qs sched.QueueSet[*task] //adws:locked(mu)
 	// ws is the lock-free fast path used instead of qs in conventional
 	// work-stealing domains (single owner, no depth separation, no
 	// migration queues).

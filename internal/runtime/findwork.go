@@ -42,14 +42,18 @@ func (w *worker) findTask(minDepth int) *task {
 
 // noteSteal records a successful steal on the worker and the stolen
 // task's job.
+//
+//adws:hotpath
 func (w *worker) noteSteal(t *task) {
-	w.steals.Add(1)
+	w.stats.steals.Add(1)
 	if t.job != nil {
 		t.job.steals.Add(1)
 	}
 }
 
 // noteStart records scheduling bookkeeping when a task begins on entity e.
+//
+//adws:hotpath
 func (w *worker) noteStart(e *entity, t *task) {
 	if t.group != nil {
 		e.lastGroup.Store(t.group)
@@ -129,7 +133,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			tries = nv
 		}
 		for a := 0; a < tries; a++ {
-			w.stealAttempts.Add(1)
+			w.stats.stealAttempts.Add(1)
 			v := sr.Victim(self, w.rng.Intn(nv))
 			if tr != nil {
 				tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
@@ -177,7 +181,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		tries = n - 1
 	}
 	for a := 0; a < tries; a++ {
-		w.stealAttempts.Add(1)
+		w.stats.stealAttempts.Add(1)
 		v := w.rng.Intn(n - 1)
 		if v >= ent.idx {
 			v++

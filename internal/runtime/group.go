@@ -126,7 +126,7 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 				Job: t.jobID(), Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
 		}
 		ent.push(t, true)
-		g.parent.w.migrations.Add(1)
+		g.parent.w.stats.migrations.Add(1)
 		if t.job != nil {
 			t.job.migrations.Add(1)
 		}
@@ -177,7 +177,7 @@ func (tg *TaskGroup) Wait() {
 	for g.remaining.Load() > 0 {
 		if t := w.findTask(g.childDepth); t != nil {
 			if searchStart != 0 {
-				w.waitIdleNS.Add(now() - searchStart)
+				w.stats.waitIdleNS.Add(now() - searchStart)
 				searchStart = 0
 			}
 			spins = 0
@@ -198,14 +198,14 @@ func (tg *TaskGroup) Wait() {
 		spins = 0
 		if t := w.park(g, g.childDepth); t != nil {
 			if searchStart != 0 {
-				w.waitIdleNS.Add(now() - searchStart)
+				w.stats.waitIdleNS.Add(now() - searchStart)
 				searchStart = 0
 			}
 			w.execute(t)
 		}
 	}
 	if searchStart != 0 {
-		w.waitIdleNS.Add(now() - searchStart)
+		w.stats.waitIdleNS.Add(now() - searchStart)
 	}
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWaitExit, Time: now(),

@@ -22,7 +22,10 @@ func (p *Pool) traceBoundary(w *worker, kind int32, d *domain, level int) {
 }
 
 // initTopology builds the root domain and, for multi-level policies, the
-// per-cache state with the initial bottom-up leader election (§4.2).
+// per-cache state with the initial bottom-up leader election (§4.2). It
+// runs before the workers start, so the ml structures are still private.
+//
+//adws:requires(ml)
 func (p *Pool) initTopology() {
 	adws := p.policy.isADWS()
 	m := p.machine
@@ -113,6 +116,8 @@ func (p *Pool) mlDecide(w *worker, cur *task, size int64, g *taskGroup) (*domain
 }
 
 // tieLocked ties g to cache c; the caller holds p.ml.
+//
+//adws:requires(ml)
 func (p *Pool) tieLocked(w *worker, c *mlCache, g *taskGroup) (*domain, sched.Range, *entity) {
 	c.tied = g
 	g.tiedTo = c

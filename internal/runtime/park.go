@@ -49,6 +49,8 @@ func (p *Pool) idleWord(id int) (*paddedWord, uint64) {
 
 // parkPrepare advertises worker w as parked: idle bit, then count. The
 // caller must re-check for work (and shutdown) before actually blocking.
+//
+//adws:hotpath
 func (p *Pool) parkPrepare(w *worker) {
 	word, bit := p.idleWord(w.id)
 	for {
@@ -62,6 +64,8 @@ func (p *Pool) parkPrepare(w *worker) {
 
 // claimIdle clears worker id's idle bit and reports whether this call did
 // the clearing (claimed the wakeup).
+//
+//adws:hotpath
 func (p *Pool) claimIdle(id int) bool {
 	word, bit := p.idleWord(id)
 	for {
@@ -89,16 +93,22 @@ func (p *Pool) parkCancel(w *worker) {
 // tryWake wakes worker w if it is advertised as parked. Exactly one token
 // is sent per successful claim; the one-slot channel never blocks because
 // a worker consumes its token before it can advertise again.
+//
+//adws:hotpath
 func (p *Pool) tryWake(w *worker) bool {
 	if !p.claimIdle(w.id) {
 		return false
 	}
 	p.nparked.Add(-1)
-	w.parkCh <- struct{}{}
+	// The one-slot semaphore send cannot block (see above): this is the
+	// single sanctioned channel op on the wakeup fast path.
+	w.parkCh <- struct{}{} //adws:allow
 	return true
 }
 
 // wakeRange wakes one parked worker with id in [lo, hi), if any.
+//
+//adws:hotpath
 func (p *Pool) wakeRange(lo, hi int) bool {
 	if lo < 0 {
 		lo = 0
@@ -115,6 +125,8 @@ func (p *Pool) wakeRange(lo, hi int) bool {
 }
 
 // wakeAnyParked wakes one parked worker, scanning the idle bitmask.
+//
+//adws:hotpath
 func (p *Pool) wakeAnyParked() bool {
 	for wi := range p.idleWords {
 		for {
@@ -134,6 +146,8 @@ func (p *Pool) wakeAnyParked() bool {
 
 // wakeAllParked wakes every currently parked worker (shutdown, and pushes
 // to cache-level entities whose acting worker is a moving leadership).
+//
+//adws:hotpath
 func (p *Pool) wakeAllParked() {
 	for _, w := range p.workers {
 		p.tryWake(w)
@@ -146,6 +160,8 @@ func (p *Pool) wakeAllParked() {
 // it costs a single atomic load. The destination entity is passed
 // explicitly — a claiming worker may already be rewriting the published
 // task's fields (noteStart), so the producer must not re-read them.
+//
+//adws:hotpath
 func (p *Pool) wakeFor(e *entity, j *RootJob) {
 	if p.nparked.Load() == 0 {
 		return
@@ -181,6 +197,8 @@ func (p *Pool) wakeFor(e *entity, j *RootJob) {
 // owners (multi-level policies) have no fixed acting worker; wake
 // everyone parked instead. Like wakeFor, e is passed explicitly because
 // the published root task is no longer the producer's to read.
+//
+//adws:hotpath
 func (p *Pool) wakeForRoot(e *entity) {
 	if p.nparked.Load() == 0 {
 		return
@@ -217,9 +235,9 @@ func (w *worker) park(g *taskGroup, minDepth int) *task {
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvPark, Time: now()})
 	}
-	w.parks.Add(1)
+	w.stats.parks.Add(1)
 	<-w.parkCh
-	w.wakes.Add(1)
+	w.stats.wakes.Add(1)
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWake, Time: now()})
 	}

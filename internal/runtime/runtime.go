@@ -102,7 +102,7 @@ type Pool struct {
 	// ml guards the multi-level leadership and domain structures.
 	ml struct {
 		sync.Mutex
-		caches [][]*mlCache
+		caches [][]*mlCache //adws:locked(ml)
 	}
 
 	// idleWords is the parked-worker bitmask (bit w&63 of word w>>6) and
@@ -122,7 +122,7 @@ type Pool struct {
 	// would violate the lock-free deque's single-owner requirement).
 	// rootN mirrors len(rootQ) as the workers' lock-free fast path.
 	rootMu sync.Mutex
-	rootQ  []*task
+	rootQ  []*task //adws:locked(rootMu)
 	rootN  atomic.Int32
 	// jobSeq issues root-job ordinals (1-based; 0 means "no job").
 	jobSeq atomic.Int64
@@ -477,8 +477,8 @@ func (s Stats) StealSuccessRate() float64 {
 func (p *Pool) Stats() Stats {
 	s := Stats{PerWorker: make([]WorkerStats, len(p.workers))}
 	for i, w := range p.workers {
-		wi := w.waitIdleNS.Load()
-		busy := w.busyNS.Load() - wi
+		wi := w.stats.waitIdleNS.Load()
+		busy := w.stats.busyNS.Load() - wi
 		if busy < 0 {
 			// waitIdleNS accumulates inside a still-open busy span: until
 			// the outer busyNS add lands the difference can transiently go
@@ -487,14 +487,14 @@ func (p *Pool) Stats() Stats {
 		}
 		ws := WorkerStats{
 			Worker:        i,
-			Tasks:         w.tasks.Load(),
-			Steals:        w.steals.Load(),
-			StealAttempts: w.stealAttempts.Load(),
-			Migrations:    w.migrations.Load(),
-			Parks:         w.parks.Load(),
-			Wakes:         w.wakes.Load(),
+			Tasks:         w.stats.tasks.Load(),
+			Steals:        w.stats.steals.Load(),
+			StealAttempts: w.stats.stealAttempts.Load(),
+			Migrations:    w.stats.migrations.Load(),
+			Parks:         w.stats.parks.Load(),
+			Wakes:         w.stats.wakes.Load(),
 			BusyNS:        busy,
-			IdleNS:        w.idleNS.Load() + wi,
+			IdleNS:        w.stats.idleNS.Load() + wi,
 		}
 		s.PerWorker[i] = ws
 		s.Tasks += ws.Tasks
@@ -509,8 +509,31 @@ func (p *Pool) Stats() Stats {
 	return s
 }
 
+// workerStats is a worker's hot counter block, padded to whole cache
+// lines: the counters are bumped by the owning worker on every task,
+// steal probe, and park cycle, and must not share a line with the fields
+// producers read on the wakeup fast path (parkCh, id). Padding is
+// enforced by adwsvet's atomicpad analyzer and runtime/pad_test.go.
+type workerStats struct {
+	tasks, steals, stealAttempts, migrations atomic.Int64
+	// parks counts blocking park cycles; wakes counts wake tokens
+	// consumed (parkCancel absorptions are neither).
+	parks, wakes atomic.Int64
+	// busyNS and idleNS accumulate wall-clock task-execution and
+	// work-search time (the paper's busy/idle profile, §6.1).
+	// busyNS measures outermost task spans; waitIdleNS measures time spent
+	// searching/parking inside helping waits, which is subtracted from
+	// busy and added to idle when reporting.
+	busyNS, idleNS, waitIdleNS atomic.Int64
+	_                          [56]byte
+}
+
 // worker is one scheduler loop.
 type worker struct {
+	// stats leads the struct so the owner-written counters start at
+	// offset 0 on their own cache lines.
+	stats workerStats //adws:padded
+
 	id   int
 	pool *Pool
 	rng  *sched.RNG
@@ -519,20 +542,11 @@ type worker struct {
 	leads *mlCache
 	// fdMu guards fdEnts (flattened-domain entities, newest last).
 	fdMu   sync.Mutex
-	fdEnts []*entity
+	fdEnts []*entity //adws:locked(fdMu)
 
-	// parkCh is the worker's one-slot wake semaphore (see park.go); parks
-	// and wakes count blocking park cycles.
-	parkCh       chan struct{}
-	parks, wakes atomic.Int64
+	// parkCh is the worker's one-slot wake semaphore (see park.go).
+	parkCh chan struct{}
 
-	tasks, steals, stealAttempts, migrations atomic.Int64
-	// busyNS and idleNS accumulate wall-clock task-execution and
-	// work-search time (the paper's busy/idle profile, §6.1).
-	// busyNS measures outermost task spans; waitIdleNS measures time spent
-	// searching/parking inside helping waits, which is subtracted from
-	// busy and added to idle when reporting.
-	busyNS, idleNS, waitIdleNS atomic.Int64
 	// execDepth tracks nested execution via helping waits (owner-only).
 	execDepth int
 	// idleSince marks the start of the current idle stretch (monotonic
@@ -553,7 +567,7 @@ func (w *worker) markIdleStart() {
 // markIdleEnd closes an open idle stretch.
 func (w *worker) markIdleEnd() {
 	if w.idleSince != 0 {
-		w.idleNS.Add(now() - w.idleSince)
+		w.stats.idleNS.Add(now() - w.idleSince)
 		w.idleSince = 0
 	}
 }
@@ -591,7 +605,7 @@ func (w *worker) loop(pin bool) {
 
 // execute runs one task to completion.
 func (w *worker) execute(t *task) {
-	w.tasks.Add(1)
+	w.stats.tasks.Add(1)
 	if t.job != nil {
 		t.job.tasks.Add(1)
 	}
@@ -613,7 +627,7 @@ func (w *worker) execute(t *task) {
 			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth)})
 	}
 	if w.execDepth == 1 {
-		w.busyNS.Add(now() - start)
+		w.stats.busyNS.Add(now() - start)
 	}
 	w.execDepth--
 	w.pool.taskDone(t)
@@ -623,6 +637,8 @@ func (w *worker) execute(t *task) {
 // no new work, so the only worker a completion can unblock is the group's
 // waiting parent — and only the LAST completion unblocks it. The fast path
 // is one atomic decrement; the old global broadcast is gone.
+//
+//adws:hotpath
 func (p *Pool) taskDone(t *task) {
 	g := t.pg
 	if g == nil {
