@@ -2,16 +2,20 @@
 # check.sh — the repo's one-stop verification gate.
 #
 # Runs, in order:
-#   1. go vet ./...                                  static checks
-#   2. go build ./...                                everything compiles
-#   3. go test ./...                                 full test suite
-#   4. go test -race internal/runtime + internal/trace + internal/server
+#   1. gofmt -l .                                    formatting gate
+#   2. scripts/lint.sh                               go vet + adwsvet
+#      adwsvet (cmd/adwsvet, docs/LINT.md) enforces the scheduler's
+#      concurrency invariants: hot-path purity, cache-line padding,
+#      trace-event switch exhaustiveness, and lock annotations.
+#   3. go build ./...                                everything compiles
+#   4. go test ./...                                 full test suite
+#   5. go test -race internal/runtime + internal/trace + internal/server
 #      + cmd/adwsd
 #      The runtime's lock-free deques, the tracer's per-worker ring
 #      buffers, and the job-serving admission path are the places where a
 #      data race would silently corrupt results; the race detector is the
 #      authority on all of them.
-#   5. go test -run='^$' -bench=. -benchtime=1x ./...   benchmark smoke
+#   6. go test -run='^$' -bench=. -benchtime=1x ./...   benchmark smoke
 #      One iteration of every benchmark, so a refactor that breaks a
 #      benchmark harness (or deadlocks the parked-pool submit path) fails
 #      here instead of at measurement time.
@@ -21,8 +25,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> go vet ./..."
-go vet ./...
+echo "==> gofmt -l ."
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt_out"
+    exit 1
+fi
+
+scripts/lint.sh
 
 echo "==> go build ./..."
 go build ./...

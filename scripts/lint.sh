@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static-analysis gate.
+#
+# Runs, in order:
+#   1. go vet ./...              the standard toolchain checks
+#   2. go run ./cmd/adwsvet ./...   the project's own analyzers (see
+#      docs/LINT.md): hotpath, atomicpad, evexhaustive, lockedby — the
+#      scheduler's concurrency invariants that go vet cannot see.
+#
+# Usage: scripts/lint.sh   (from the repo root, or anywhere inside it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> adwsvet ./..."
+go run ./cmd/adwsvet ./...
