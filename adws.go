@@ -225,6 +225,7 @@ type Pool struct {
 	p      *runtime.Pool
 	srv    *server.Server
 	tracer *trace.Tracer
+	reg    *MetricsRegistry
 }
 
 // NewPool starts a pool. Without options it runs conventional work
@@ -244,15 +245,23 @@ func NewPool(opts ...Option) (*Pool, error) {
 	if cfg.traceCap > 0 {
 		tr = trace.New(cfg.machine.NumWorkers(), cfg.traceCap)
 	}
+	reg, rtm := newPoolRegistry(cfg.machine.NumWorkers())
 	p := runtime.NewPool(runtime.Config{
 		Machine:    cfg.machine,
 		Policy:     cfg.scheduler,
 		Seed:       cfg.seed,
 		PinThreads: cfg.pinThreads,
 		Tracer:     tr,
+		Metrics:    rtm,
 	})
-	srv := server.New(p, server.Config{MaxInFlight: cfg.maxInFlight, MaxQueue: cfg.maxQueue})
-	return &Pool{p: p, srv: srv, tracer: tr}, nil
+	srv := server.New(p, server.Config{
+		MaxInFlight: cfg.maxInFlight,
+		MaxQueue:    cfg.maxQueue,
+		Metrics:     server.NewMetrics(reg),
+	})
+	pool := &Pool{p: p, srv: srv, tracer: tr, reg: reg}
+	registerPoolMetrics(reg, pool)
+	return pool, nil
 }
 
 // Run executes fn as the root task and blocks until every transitively
@@ -309,6 +318,12 @@ func (p *Pool) Stats() Stats { return p.p.Stats() }
 // given. Read it (Events, Summarize, WriteChromeTrace) only while no Run
 // is active.
 func (p *Pool) Tracer() *Tracer { return p.tracer }
+
+// Metrics returns the pool's metrics registry. Unlike the tracer it is
+// always on (recording is lock-free and allocation-free; see
+// docs/METRICS.md) and may be rendered with WriteText at any time,
+// including under concurrent job load.
+func (p *Pool) Metrics() *MetricsRegistry { return p.reg }
 
 // Close stops admission and the workers. Outstanding Runs and jobs must
 // have completed (Drain first for a graceful shutdown); Run and Submit

@@ -199,34 +199,26 @@ func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// metrics writes a Prometheus-style text exposition of the pool's
-// scheduling counters and the admission state. Trace-derived metrics
-// (dominant-group hit rate, steal distances) are appended only when the
-// daemon was started with -tracemetrics AND no job is in flight, since
-// reading the trace rings requires quiescence.
+// metrics renders the pool's metrics registry as Prometheus text
+// exposition: the scheduling counters and admission state of the old
+// hand-rolled handler (every name unchanged, now with proper TYPE
+// headers on the per-worker vectors) plus the latency histograms —
+// adws_park_seconds, adws_steal_attempt_seconds, adws_wake_to_run_seconds,
+// adws_job_queue_wait_seconds, adws_job_service_seconds,
+// adws_job_e2e_seconds. Histogram recording is lock-free, so scrapes are
+// valid under concurrent job load. Trace-derived metrics (dominant-group
+// hit rate, steal distances) are appended only when the daemon was
+// started with -tracemetrics AND no job is in flight, since reading the
+// trace rings requires quiescence.
 func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	st := d.pool.Stats()
-	fmt.Fprintf(w, "# TYPE adws_tasks_total counter\nadws_tasks_total %d\n", st.Tasks)
-	fmt.Fprintf(w, "# TYPE adws_steals_total counter\nadws_steals_total %d\n", st.Steals)
-	fmt.Fprintf(w, "# TYPE adws_steal_attempts_total counter\nadws_steal_attempts_total %d\n", st.StealAttempts)
-	fmt.Fprintf(w, "# TYPE adws_migrations_total counter\nadws_migrations_total %d\n", st.Migrations)
-	fmt.Fprintf(w, "# TYPE adws_parks_total counter\nadws_parks_total %d\n", st.Parks)
-	fmt.Fprintf(w, "# TYPE adws_wakes_total counter\nadws_wakes_total %d\n", st.Wakes)
-	fmt.Fprintf(w, "# TYPE adws_busy_seconds_total counter\nadws_busy_seconds_total %g\n", float64(st.BusyNS)/1e9)
-	fmt.Fprintf(w, "# TYPE adws_idle_seconds_total counter\nadws_idle_seconds_total %g\n", float64(st.IdleNS)/1e9)
-	fmt.Fprintf(w, "# TYPE adws_workers gauge\nadws_workers %d\n", d.pool.NumWorkers())
-	for _, ws := range st.PerWorker {
-		fmt.Fprintf(w, "adws_worker_tasks_total{worker=\"%d\"} %d\n", ws.Worker, ws.Tasks)
-		fmt.Fprintf(w, "adws_worker_steals_total{worker=\"%d\"} %d\n", ws.Worker, ws.Steals)
-	}
-	queued, running := d.pool.InFlight()
-	fmt.Fprintf(w, "# TYPE adws_jobs_queued gauge\nadws_jobs_queued %d\n", queued)
-	fmt.Fprintf(w, "# TYPE adws_jobs_running gauge\nadws_jobs_running %d\n", running)
+	_ = d.pool.Metrics().WriteText(w)
 
-	if d.traceMetrics && queued == 0 && running == 0 {
-		if tr := d.pool.Tracer(); tr != nil {
-			d.traceSection(w, tr)
+	if d.traceMetrics {
+		if queued, running := d.pool.InFlight(); queued == 0 && running == 0 {
+			if tr := d.pool.Tracer(); tr != nil {
+				d.traceSection(w, tr)
+			}
 		}
 	}
 }
@@ -238,6 +230,7 @@ func (d *daemon) traceSection(w http.ResponseWriter, tr *trace.Tracer) {
 	fmt.Fprintf(w, "# TYPE adws_trace_steal_success_rate gauge\nadws_trace_steal_success_rate %g\n",
 		s.StealSuccessRate())
 	fmt.Fprintf(w, "# TYPE adws_trace_drops_total counter\nadws_trace_drops_total %d\n", s.Drops)
+	fmt.Fprintf(w, "# TYPE adws_trace_steal_distance_total counter\n")
 	for dist, n := range s.StealDistance {
 		if n > 0 {
 			fmt.Fprintf(w, "adws_trace_steal_distance_total{distance=\"%d\"} %d\n", dist, n)

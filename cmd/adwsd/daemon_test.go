@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/metrics"
 	"github.com/parlab/adws/internal/workload"
 )
 
@@ -288,4 +289,129 @@ func postJSON(t *testing.T, url, body string) (int, jobResponse) {
 		}
 	}
 	return resp.StatusCode, jr
+}
+
+// TestDaemonMetricsScrapeUnderLoad pins the tentpole scrape contract:
+// /metrics renders format-valid Prometheus text exposition (validated by
+// the strict internal parser, not substring checks) while jobs are
+// queued and running, with the latency histogram families present; and
+// after a drain the job histograms account for every completed job.
+func TestDaemonMetricsScrapeUnderLoad(t *testing.T) {
+	pool, err := adws.NewPool(
+		adws.WithScheduler(adws.ADWS),
+		adws.WithWorkers(4),
+		adws.WithAdmission(2, 32),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	d := newDaemon(pool, false)
+	release := make(chan struct{})
+	d.workloads["block"] = func(n int, seed uint64) (workload.Job, error) {
+		return workload.Job{Name: "block", N: n, Work: 1,
+			Body: func(c *adws.Ctx) error { <-release; return nil }}, nil
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	scrape := func() []metrics.Family {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams, err := metrics.ParseText(string(raw))
+		if err != nil {
+			t.Fatalf("scrape is not valid exposition: %v\n%s", err, raw)
+		}
+		return fams
+	}
+
+	// Two blockers pin both running slots; the fib jobs queue behind them,
+	// so scrapes below observe queued AND running jobs.
+	const blockers, fibs = 2, 6
+	for i := 0; i < blockers; i++ {
+		if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "block"}`); code != http.StatusAccepted {
+			t.Fatalf("POST blocker: status %d", code)
+		}
+	}
+	for i := 0; i < fibs; i++ {
+		if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 22}`); code != http.StatusAccepted {
+			t.Fatalf("POST fib: status %d", code)
+		}
+	}
+
+	// Concurrent scrapes under load: every one must parse strictly and
+	// carry the histogram families.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				fams := scrape()
+				byName := make(map[string]metrics.Family, len(fams))
+				for _, f := range fams {
+					byName[f.Name] = f
+				}
+				for _, want := range []string{
+					"adws_job_queue_wait_seconds", "adws_job_service_seconds",
+					"adws_job_e2e_seconds", "adws_park_seconds",
+					"adws_steal_attempt_seconds", "adws_wake_to_run_seconds",
+				} {
+					if f, ok := byName[want]; !ok {
+						t.Errorf("scrape missing family %s", want)
+					} else if f.Type != "histogram" {
+						t.Errorf("family %s has type %s, want histogram", want, f.Type)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := pool.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drained: the e2e histogram accounts for every job, and the legacy
+	// gauges read zero.
+	fams := scrape()
+	count := func(family string) float64 {
+		t.Helper()
+		for _, f := range fams {
+			if f.Name != family {
+				continue
+			}
+			for _, s := range f.Samples {
+				if s.Name == family+"_count" {
+					return s.Value
+				}
+			}
+		}
+		t.Fatalf("no %s_count sample", family)
+		return 0
+	}
+	if got := count("adws_job_e2e_seconds"); got != blockers+fibs {
+		t.Errorf("e2e count = %g, want %d", got, blockers+fibs)
+	}
+	if got := count("adws_job_service_seconds"); got != blockers+fibs {
+		t.Errorf("service count = %g, want %d", got, blockers+fibs)
+	}
+	for _, f := range fams {
+		if f.Name == "adws_jobs_running" || f.Name == "adws_jobs_queued" {
+			if v, ok := f.Sample(); !ok || v != 0 {
+				t.Errorf("drained daemon: %s = %g, want 0", f.Name, v)
+			}
+		}
+	}
 }

@@ -1,0 +1,270 @@
+// adwsload drives concurrent jobs through a real adws pool and reports
+// the latency distributions the runtime and server recorded — the
+// serve-side half of a committed BENCH_*.json trajectory point
+// (internal/benchfmt, scripts/bench.sh, docs/METRICS.md).
+//
+// Usage:
+//
+//	adwsload -workers 8 -sched adws -jobs 64 -workload quicksort -n 200000
+//	adwsload ... -json BENCH_0006.json -sim sim.json   # emit a trajectory point
+//	adwsload -smoke                                    # tiny run + exposition self-check
+//	adwsload -validate 'BENCH_*.json'                  # schema-check committed points
+//
+// Unlike adwsd's HTTP benchmarks, adwsload submits in-process: it
+// measures the admission queue, placement, scheduling, and metric
+// recording — not HTTP framing.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/parlab/adws"
+	"github.com/parlab/adws/internal/benchfmt"
+	"github.com/parlab/adws/internal/metrics"
+	"github.com/parlab/adws/internal/workload"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "pool worker count")
+		sched    = flag.String("sched", "adws", "scheduler: ws, adws, mlws, mladws")
+		jobs     = flag.Int("jobs", 64, "total jobs to submit")
+		inflight = flag.Int("inflight", 0, "max concurrently running jobs (0: one per worker)")
+		wlName   = flag.String("workload", "quicksort", strings.Join(workload.JobNames(), ", "))
+		n        = flag.Int("n", 0, "problem size per job (0: the workload's default)")
+		seed     = flag.Uint64("seed", 1, "workload input and victim-selection seed")
+		jsonOut  = flag.String("json", "", "write the benchfmt trajectory point here (- for stdout)")
+		simIn    = flag.String("sim", "", "adwsbench -json result to embed as the point's sim half")
+		id       = flag.String("id", "", "trajectory point id (default: derived from -json filename)")
+		smoke    = flag.Bool("smoke", false, "tiny run + strict exposition self-check, for CI")
+		validate = flag.String("validate", "", "glob of BENCH_*.json files to schema-check (no run)")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		validatePoints(*validate)
+		return
+	}
+	if *smoke {
+		*workers, *jobs, *n = 4, 8, 20_000
+		if *wlName == "" {
+			*wlName = "quicksort"
+		}
+	}
+
+	var schedOpt adws.Scheduler
+	switch *sched {
+	case "ws":
+		schedOpt = adws.WorkStealing
+	case "adws":
+		schedOpt = adws.ADWS
+	case "mlws":
+		schedOpt = adws.MultiLevelWS
+	case "mladws":
+		schedOpt = adws.MultiLevelADWS
+	default:
+		fatalf("unknown scheduler %q (want ws, adws, mlws, mladws)", *sched)
+	}
+
+	pool, err := adws.NewPool(
+		adws.WithWorkers(*workers),
+		adws.WithScheduler(schedOpt),
+		adws.WithSeed(*seed),
+		adws.WithAdmission(*inflight, *jobs+1),
+	)
+	if err != nil {
+		fatalf("pool: %v", err)
+	}
+	defer pool.Close()
+
+	start := time.Now()
+	handles := make([]*adws.Job, 0, *jobs)
+	for i := 0; i < *jobs; i++ {
+		wj, err := workload.NewJob(*wlName, *n, *seed+uint64(i))
+		if err != nil {
+			fatalf("workload: %v", err)
+		}
+		j, err := pool.Submit(context.Background(), wj.Body, wj.Hint())
+		if err != nil {
+			fatalf("submit job %d: %v", i, err)
+		}
+		handles = append(handles, j)
+	}
+	for _, j := range handles {
+		if err := j.Wait(context.Background()); err != nil {
+			fatalf("job %d: %v", j.ID(), err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	reg := pool.Metrics()
+	if *smoke {
+		selfCheck(reg)
+	}
+	serve := buildServe(pool, handles, *sched, *wlName, *n, *seed, elapsed)
+	fmt.Printf("adwsload: %d×%s on %d workers (%s) in %.3fs — e2e p50 %.1fms p99 %.1fms, queue-wait p99 %.1fms\n",
+		*jobs, *wlName, *workers, *sched, elapsed.Seconds(),
+		serve.E2E.P50*1e3, serve.E2E.P99*1e3, serve.QueueWait.P99*1e3)
+
+	if *jsonOut != "" {
+		writePoint(*jsonOut, *id, *simIn, serve)
+	}
+}
+
+// buildServe assembles the serve half of a trajectory point from the
+// pool's registry and counters. Job outcomes are counted from the
+// submitted handles, not pool.Jobs(), whose history is bounded.
+func buildServe(pool *adws.Pool, handles []*adws.Job, sched, wl string, n int, seed uint64, elapsed time.Duration) *benchfmt.Serve {
+	st := pool.Stats()
+	q := func(name string) benchfmt.Quantiles {
+		h := pool.Metrics().FindHistogram(name)
+		if h == nil {
+			fatalf("registry is missing histogram %s", name)
+		}
+		s := h.Snapshot()
+		return s.SummarizeSeconds()
+	}
+	jobs := len(handles)
+	var completed, failed, canceled int64
+	for _, j := range handles {
+		switch j.State() {
+		case adws.JobDone:
+			completed++
+		case adws.JobFailed:
+			failed++
+		case adws.JobCanceled:
+			canceled++
+		}
+	}
+	nEff := n
+	if nEff == 0 {
+		if wj, err := workload.NewJob(wl, 0, seed); err == nil {
+			nEff = wj.N
+		}
+	}
+	return &benchfmt.Serve{
+		Workers:       pool.NumWorkers(),
+		Sched:         sched,
+		Jobs:          jobs,
+		Workload:      wl,
+		N:             nEff,
+		Seed:          seed,
+		ElapsedS:      elapsed.Seconds(),
+		JobsPerSecond: float64(jobs) / elapsed.Seconds(),
+		Submitted:     int64(jobs),
+		Completed:     completed,
+		Failed:        failed,
+		Canceled:      canceled,
+		Tasks:         st.Tasks,
+		Steals:        st.Steals,
+		StealAttempts: st.StealAttempts,
+		Migrations:    st.Migrations,
+		Parks:         st.Parks,
+		Wakes:         st.Wakes,
+		QueueWait:     q("adws_job_queue_wait_seconds"),
+		Service:       q("adws_job_service_seconds"),
+		E2E:           q("adws_job_e2e_seconds"),
+		Park:          q("adws_park_seconds"),
+		StealAttempt:  q("adws_steal_attempt_seconds"),
+		WakeToRun:     q("adws_wake_to_run_seconds"),
+	}
+}
+
+// selfCheck renders the registry and re-parses it with the strict
+// exposition parser: the smoke gate that keeps /metrics valid.
+func selfCheck(reg *adws.MetricsRegistry) {
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		fatalf("render: %v", err)
+	}
+	fams, err := metrics.ParseText(b.String())
+	if err != nil {
+		fatalf("exposition self-check failed: %v", err)
+	}
+	need := map[string]bool{
+		"adws_job_queue_wait_seconds": false,
+		"adws_job_service_seconds":    false,
+		"adws_park_seconds":           false,
+		"adws_tasks_total":            false,
+	}
+	for _, f := range fams {
+		if _, ok := need[f.Name]; ok {
+			need[f.Name] = true
+		}
+	}
+	for name, seen := range need {
+		if !seen {
+			fatalf("exposition self-check: missing family %s", name)
+		}
+	}
+	fmt.Printf("adwsload: exposition self-check passed (%d families)\n", len(fams))
+}
+
+// writePoint assembles and writes the trajectory point, validating it
+// first so a malformed point never lands in the repo.
+func writePoint(path, id, simIn string, serve *benchfmt.Serve) {
+	if id == "" {
+		base := filepath.Base(path)
+		id = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	}
+	pt := benchfmt.Point{SchemaVersion: benchfmt.SchemaVersion, ID: id, Serve: serve}
+	if simIn != "" {
+		raw, err := os.ReadFile(simIn)
+		if err != nil {
+			fatalf("read sim %s: %v", simIn, err)
+		}
+		pt.Sim = json.RawMessage(raw)
+	}
+	if err := pt.Validate(); err != nil {
+		fatalf("refusing to write invalid point: %v", err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pt); err != nil {
+		fatalf("encode: %v", err)
+	}
+}
+
+// validatePoints schema-checks every file matching the glob; CI runs
+// this over the committed BENCH_*.json trajectory.
+func validatePoints(glob string) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		fatalf("bad glob %q: %v", glob, err)
+	}
+	if len(paths) == 0 {
+		fatalf("no files match %q", glob)
+	}
+	for _, p := range paths {
+		if _, err := benchfmt.ReadFile(p); err != nil {
+			fatalf("invalid trajectory point: %v", err)
+		}
+		fmt.Printf("ok %s\n", p)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adwsload: "+format+"\n", args...)
+	os.Exit(1)
+}

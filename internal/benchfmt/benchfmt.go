@@ -1,0 +1,170 @@
+// Package benchfmt defines the schema of the repo's committed perf
+// trajectory points (BENCH_NNNN.json): one file per PR that changed
+// performance-relevant code, produced by scripts/bench.sh and validated
+// by its -smoke mode in CI. The schema is versioned so future points
+// stay diffable against old ones; fields are only ever added, never
+// renamed or removed, within a schema version.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/parlab/adws/internal/metrics"
+)
+
+// SchemaVersion is the current trajectory-point schema. Bump only when
+// an existing field changes meaning; adding fields keeps the version.
+const SchemaVersion = 1
+
+// Quantiles is a histogram percentile summary (count, p50/p90/p99, max).
+// Serve-side values are in seconds; the simulator's task-span values are
+// in virtual time units.
+type Quantiles = metrics.Quantiles
+
+// Point is one committed trajectory point.
+type Point struct {
+	SchemaVersion int `json:"schema_version"`
+	// ID names the point, conventionally the BENCH file's own number
+	// (e.g. "0006") so diffs across points are self-describing.
+	ID string `json:"id"`
+	// Sim carries the raw `adwsbench -json` result of the reference
+	// traced simulation (its own fields are schema-versioned by
+	// adwsbench itself and embedded verbatim).
+	Sim json.RawMessage `json:"sim,omitempty"`
+	// Serve carries the real-runtime serving measurement.
+	Serve *Serve `json:"serve,omitempty"`
+}
+
+// Serve is the serve-side half of a trajectory point: adwsload drives
+// concurrent jobs through a real pool and summarizes the latency
+// histograms the runtime and server recorded.
+type Serve struct {
+	Workers  int    `json:"workers"`
+	Sched    string `json:"sched"`
+	Jobs     int    `json:"jobs"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+
+	ElapsedS      float64 `json:"elapsed_s"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+
+	// Admission outcomes.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+
+	// Pool scheduling counters over the run.
+	Tasks         int64 `json:"tasks"`
+	Steals        int64 `json:"steals"`
+	StealAttempts int64 `json:"steal_attempts"`
+	Migrations    int64 `json:"migrations"`
+	Parks         int64 `json:"parks"`
+	Wakes         int64 `json:"wakes"`
+
+	// Latency distributions, in seconds.
+	QueueWait    Quantiles `json:"queue_wait"`
+	Service      Quantiles `json:"service"`
+	E2E          Quantiles `json:"e2e"`
+	Park         Quantiles `json:"park"`
+	StealAttempt Quantiles `json:"steal_attempt"`
+	WakeToRun    Quantiles `json:"wake_to_run"`
+}
+
+// Validate checks the invariants every committed trajectory point must
+// hold; scripts/bench.sh -smoke runs it over all BENCH_*.json in CI.
+func (p *Point) Validate() error {
+	if p.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("schema_version %d, want %d", p.SchemaVersion, SchemaVersion)
+	}
+	if p.ID == "" {
+		return fmt.Errorf("missing id")
+	}
+	if len(p.Sim) == 0 && p.Serve == nil {
+		return fmt.Errorf("point has neither sim nor serve data")
+	}
+	if len(p.Sim) > 0 {
+		var sim struct {
+			SchemaVersion int     `json:"schema_version"`
+			Bench         string  `json:"bench"`
+			Mode          string  `json:"mode"`
+			Time          float64 `json:"time"`
+		}
+		if err := json.Unmarshal(p.Sim, &sim); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if sim.SchemaVersion != SchemaVersion {
+			return fmt.Errorf("sim: schema_version %d, want %d", sim.SchemaVersion, SchemaVersion)
+		}
+		if sim.Bench == "" || sim.Mode == "" {
+			return fmt.Errorf("sim: missing bench or mode")
+		}
+		if sim.Time <= 0 {
+			return fmt.Errorf("sim: nonpositive time %g", sim.Time)
+		}
+	}
+	if s := p.Serve; s != nil {
+		if s.Workers <= 0 || s.Jobs <= 0 {
+			return fmt.Errorf("serve: nonpositive workers (%d) or jobs (%d)", s.Workers, s.Jobs)
+		}
+		if s.Workload == "" || s.Sched == "" {
+			return fmt.Errorf("serve: missing workload or sched")
+		}
+		if s.Completed != s.Jobs64() {
+			return fmt.Errorf("serve: completed %d of %d jobs", s.Completed, s.Jobs)
+		}
+		for _, q := range []struct {
+			name string
+			q    Quantiles
+		}{
+			{"queue_wait", s.QueueWait}, {"service", s.Service}, {"e2e", s.E2E},
+			{"park", s.Park}, {"steal_attempt", s.StealAttempt}, {"wake_to_run", s.WakeToRun},
+		} {
+			if err := validQuantiles(q.q); err != nil {
+				return fmt.Errorf("serve: %s: %w", q.name, err)
+			}
+		}
+		if s.E2E.Count != s.Jobs64() || s.Service.Count != s.Jobs64() {
+			return fmt.Errorf("serve: e2e count %d / service count %d, want %d jobs",
+				s.E2E.Count, s.Service.Count, s.Jobs)
+		}
+	}
+	return nil
+}
+
+// Jobs64 returns the job count widened for comparison against counters.
+func (s *Serve) Jobs64() int64 { return int64(s.Jobs) }
+
+func validQuantiles(q Quantiles) error {
+	if q.Count < 0 {
+		return fmt.Errorf("negative count %d", q.Count)
+	}
+	if q.Count == 0 {
+		return nil // never recorded: all zeros is the only valid shape
+	}
+	if q.P50 < 0 || q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.Max {
+		return fmt.Errorf("quantiles not monotone: p50=%g p90=%g p99=%g max=%g",
+			q.P50, q.P90, q.P99, q.Max)
+	}
+	return nil
+}
+
+// ReadFile loads and validates one trajectory point.
+func ReadFile(path string) (Point, error) {
+	var p Point
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -33,3 +33,30 @@ func (s *w) park() {
 	defer s.mu.Unlock()
 	<-s.parkCh
 }
+
+// shard mirrors the metrics histogram recorder: the sanctioned hot-path
+// shape is atomic adds plus a CAS-max retry loop, nothing else.
+type shard struct {
+	counts [8]atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+//adws:hotpath
+func (s *shard) record(v int64) {
+	s.counts[v&7].Add(1)
+	s.sum.Add(v)
+	for {
+		old := s.max.Load()
+		if v <= old || s.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// recordThrough proves transitive analysis covers nested recorder calls.
+//
+//adws:hotpath
+func (s *shard) recordThrough(v int64) {
+	s.record(v)
+}

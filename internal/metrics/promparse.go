@@ -1,0 +1,346 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseText is a strict parser for the Prometheus text exposition format
+// (0.0.4) subset this repo emits. It exists so tests can validate /metrics
+// at the format level instead of by substring: every sample must belong to
+// a family whose # TYPE header appeared first, families may not be
+// reopened, histogram bucket series must be cumulative with a +Inf bucket
+// matching _count, and no series (name + label set) may repeat.
+//
+// It is a test/tooling aid, not a scrape client — it rejects anything it
+// does not understand rather than skipping it.
+func ParseText(text string) ([]Family, error) {
+	p := &parser{families: map[string]*Family{}}
+	for ln, line := range strings.Split(text, "\n") {
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w (%q)", ln+1, err, line)
+		}
+	}
+	out := make([]Family, len(p.order))
+	for i, f := range p.order {
+		if err := f.validate(); err != nil {
+			return nil, fmt.Errorf("family %s: %w", f.Name, err)
+		}
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line. Name includes any _bucket/_sum/_count
+// suffix; Labels is nil when the line had no label set.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Sample returns the family's single unsuffixed, unlabeled sample value,
+// for counter/gauge assertions in tests.
+func (f Family) Sample() (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == f.Name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+type parser struct {
+	families map[string]*Family
+	order    []*Family
+	// cur is the family opened by the most recent # TYPE line; samples
+	// must follow their TYPE header contiguously.
+	cur string
+	// pendingHelp holds a # HELP seen before its # TYPE.
+	pendingHelp map[string]string
+	seen        map[string]bool
+}
+
+func (p *parser) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "# HELP ") {
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, help, _ := strings.Cut(rest, " ")
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name in HELP")
+		}
+		if p.pendingHelp == nil {
+			p.pendingHelp = map[string]string{}
+		}
+		p.pendingHelp[name] = help
+		return nil
+	}
+	if strings.HasPrefix(line, "# TYPE ") {
+		fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line")
+		}
+		name, typ := fields[0], fields[1]
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name in TYPE")
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q", typ)
+		}
+		if p.families[name] != nil {
+			return fmt.Errorf("family %s reopened", name)
+		}
+		f := &Family{Name: name, Type: typ, Help: p.pendingHelp[name]}
+		p.families[name] = f
+		p.order = append(p.order, f)
+		p.cur = name
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return nil // other comments are legal and ignored
+	}
+	return p.sample(line)
+}
+
+func (p *parser) sample(line string) error {
+	s, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	fam := familyOf(s.Name, p.families)
+	if fam == nil {
+		return fmt.Errorf("sample %s has no preceding TYPE header", s.Name)
+	}
+	if fam.Name != p.cur {
+		return fmt.Errorf("sample %s is separated from its TYPE header", s.Name)
+	}
+	if fam.Type == "histogram" {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("histogram bucket without le label")
+			}
+		case fam.Name + "_sum", fam.Name + "_count":
+		default:
+			return fmt.Errorf("unexpected histogram sample %s", s.Name)
+		}
+	} else if s.Name != fam.Name {
+		return fmt.Errorf("suffixed sample %s on %s family", s.Name, fam.Type)
+	}
+	key := seriesKey(s)
+	if p.seen == nil {
+		p.seen = map[string]bool{}
+	}
+	if p.seen[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	p.seen[key] = true
+	fam.Samples = append(fam.Samples, s)
+	return nil
+}
+
+// familyOf resolves a sample name to its family, accounting for
+// histogram suffixes. Longest match wins so a literal metric named
+// x_bucket is preferred over histogram x.
+func familyOf(name string, fams map[string]*Family) *Family {
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[base]; f != nil && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line")
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if j := strings.IndexByte(valStr, ' '); j >= 0 {
+		// A trailing field would be a timestamp; this repo never emits
+		// them, so treat one as an error.
+		return s, fmt.Errorf("unexpected trailing field %q", valStr[j+1:])
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := s[:eq]
+		if !validName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %s", name)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val
+		s = strings.TrimPrefix(rest, ",")
+	}
+	return out, nil
+}
+
+// parseQuoted consumes a leading double-quoted string with \", \\ and \n
+// escapes, returning the unescaped value and the remainder.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("truncated escape")
+			}
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validate enforces per-family invariants after parsing.
+func (f *Family) validate() error {
+	if f.Type != "histogram" {
+		return nil
+	}
+	var buckets []Sample
+	var sum, count *Sample
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			buckets = append(buckets, *s)
+		case f.Name + "_sum":
+			sum = s
+		case f.Name + "_count":
+			count = s
+		}
+	}
+	if sum == nil || count == nil {
+		return fmt.Errorf("missing _sum or _count")
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("no _bucket samples")
+	}
+	les := make([]float64, len(buckets))
+	for i, b := range buckets {
+		le, err := parseValue(b.Labels["le"])
+		if err != nil {
+			return fmt.Errorf("bad le %q: %w", b.Labels["le"], err)
+		}
+		les[i] = le
+	}
+	if !sort.Float64sAreSorted(les) {
+		return fmt.Errorf("le boundaries not sorted")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Value < buckets[i-1].Value {
+			return fmt.Errorf("bucket counts not cumulative at le=%s", buckets[i].Labels["le"])
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(les[len(les)-1], 1) {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	if last.Value != count.Value {
+		return fmt.Errorf("+Inf bucket %g != _count %g", last.Value, count.Value)
+	}
+	return nil
+}
+
+func seriesKey(s Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

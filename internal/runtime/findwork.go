@@ -59,6 +59,8 @@ func (w *worker) noteStart(e *entity, t *task) {
 		e.lastGroup.Store(t.group)
 	}
 	t.ent = e
+	// Obtaining a task closes any pending park-wakeup span.
+	w.noteRunAfterWake()
 }
 
 // candidates returns the entities this worker may act for, in priority
@@ -107,6 +109,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		return nil
 	}
 	tr := w.pool.tracer
+	m := w.pool.metrics
 	if d.adws {
 		anchor := ent.lastGroup.Load()
 		if anchor == nil {
@@ -134,6 +137,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		}
 		for a := 0; a < tries; a++ {
 			w.stats.stealAttempts.Add(1)
+			var probeStart int64
+			if m != nil {
+				probeStart = now()
+			}
 			v := sr.Victim(self, w.rng.Intn(nv))
 			if tr != nil {
 				tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
@@ -142,12 +149,14 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			}
 			vp := d.physical(v)
 			if vp == ent.idx {
+				w.noteStealProbe(probeStart)
 				continue
 			}
 			ve := d.entities[vp]
 			if sr.MigrationStealable(v) {
 				if t := ve.stealMigration(md); t != nil {
 					w.noteSteal(t)
+					w.noteStealProbe(probeStart)
 					if tr != nil {
 						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
@@ -160,6 +169,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			if sr.PrimaryStealable(v) {
 				if t := ve.stealPrimary(md); t != nil {
 					w.noteSteal(t)
+					w.noteStealProbe(probeStart)
 					if tr != nil {
 						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
@@ -169,6 +179,7 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 					return t
 				}
 			}
+			w.noteStealProbe(probeStart)
 		}
 		if tr != nil {
 			tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),
@@ -182,6 +193,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 	}
 	for a := 0; a < tries; a++ {
 		w.stats.stealAttempts.Add(1)
+		var probeStart int64
+		if m != nil {
+			probeStart = now()
+		}
 		v := w.rng.Intn(n - 1)
 		if v >= ent.idx {
 			v++
@@ -192,12 +207,14 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		}
 		if t := d.entities[v].stealAny(); t != nil {
 			w.noteSteal(t)
+			w.noteStealProbe(probeStart)
 			if tr != nil {
 				tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
 					Self: int32(ent.idx), Victim: int32(v), Task: t.seq, Job: t.jobID()})
 			}
 			return t
 		}
+		w.noteStealProbe(probeStart)
 	}
 	if tr != nil && tries > 0 {
 		tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),

@@ -207,6 +207,10 @@ func (tg *TaskGroup) Wait() {
 	if searchStart != 0 {
 		w.stats.waitIdleNS.Add(now() - searchStart)
 	}
+	// A wakeup by the group's last completion resumes this continuation:
+	// that is the work the wake delivered, so it closes the wake-to-run
+	// span (a wake consumed by findTask was already closed in noteStart).
+	w.noteRunAfterWake()
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWaitExit, Time: now(),
 			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)})

@@ -1,0 +1,61 @@
+package runtime
+
+import "github.com/parlab/adws/internal/metrics"
+
+// Metrics is the runtime's latency-recording surface. A nil *Metrics in
+// Config costs one pointer check per instrumented site — the same
+// contract as the tracer — so direct runtime users and micro-benchmarks
+// pay nothing. When non-nil, every histogram must be non-nil with at
+// least one shard per worker: workers record into their own shard by
+// worker ID, so recording is always uncontended and lock-free
+// (//adws:hotpath holds through the metrics package).
+type Metrics struct {
+	// Park records how long each blocking park lasted (park → wake), in
+	// nanoseconds. Spin/yield rounds that never block are not parks.
+	Park *metrics.Histogram
+	// StealAttempt records the latency of each individual victim probe,
+	// successful or not.
+	StealAttempt *metrics.Histogram
+	// WakeToRun records wake → first task obtained. A spurious wake — the
+	// worker parks again without obtaining a task — is dropped rather
+	// than recorded (see worker.park).
+	WakeToRun *metrics.Histogram
+}
+
+// checkShards panics unless every histogram can absorb Record(w) for all
+// n workers, mirroring the tracer's ring-count check in NewPool.
+func (m *Metrics) checkShards(n int) {
+	for _, h := range []*metrics.Histogram{m.Park, m.StealAttempt, m.WakeToRun} {
+		if h == nil {
+			panic("runtime: Metrics histograms must all be non-nil")
+		}
+		if h.Shards() < n {
+			panic("runtime: Metrics histogram " + h.Name() + " has fewer shards than workers")
+		}
+	}
+}
+
+// noteRunAfterWake records the wake-to-run latency when the worker holds
+// a pending wake timestamp, i.e. the task now obtained is the first one
+// since a park wakeup. wakeAt is owner-only state: it is set when a park
+// wake arrives and cleared here or by the next blocking park (the
+// spurious-wake rule).
+//
+//adws:hotpath
+func (w *worker) noteRunAfterWake() {
+	if m := w.pool.metrics; m != nil && w.wakeAt != 0 {
+		m.WakeToRun.Record(w.id, now()-w.wakeAt)
+		w.wakeAt = 0
+	}
+}
+
+// noteStealProbe records one victim probe's latency. start is 0 when
+// metrics are disabled (the caller reads the timestamp only when
+// enabled), so the disabled path stays a single comparison.
+//
+//adws:hotpath
+func (w *worker) noteStealProbe(start int64) {
+	if start != 0 {
+		w.pool.metrics.StealAttempt.Record(w.id, now()-start)
+	}
+}

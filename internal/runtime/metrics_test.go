@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/parlab/adws/internal/metrics"
+	"github.com/parlab/adws/internal/topology"
+)
+
+// newMetricsPool builds a flat pool with latency metrics enabled — the
+// configuration the adws façade always uses.
+func newMetricsPool(t *testing.T, policy Policy, workers int) (*Pool, *Metrics) {
+	t.Helper()
+	m := &Metrics{
+		Park:         metrics.NewStandaloneHistogram(workers),
+		StealAttempt: metrics.NewStandaloneHistogram(workers),
+		WakeToRun:    metrics.NewStandaloneHistogram(workers),
+	}
+	p := NewPool(Config{
+		Machine: topology.Flat(workers, 32<<20, 1<<20),
+		Policy:  policy,
+		Seed:    42,
+		Metrics: m,
+	})
+	t.Cleanup(p.Close)
+	return p, m
+}
+
+// TestWakeToRunSpuriousWake pins the spurious-wake rule: a park wakeup
+// that never leads to a task (the woken worker re-parks) must not record
+// a wake-to-run sample, while a wakeup that does obtain a task must.
+// Without the rule, every idle-pool wake would pollute the distribution
+// with park-to-park durations.
+func TestWakeToRunSpuriousWake(t *testing.T) {
+	p, m := newMetricsPool(t, ADWS, 4)
+	var s int64
+	p.Run(func(c *Ctx) { treeSum(c, 0, 200, &s, 0) })
+	awaitFullyParked(t, p)
+
+	base := m.WakeToRun.Snapshot().Count
+	parksBefore := p.Stats().Parks
+	// Wake one parked worker with no work published: the wake is spurious
+	// by construction and the worker re-parks.
+	if !p.tryWake(p.workers[0]) {
+		t.Fatal("could not wake a parked worker")
+	}
+	awaitFullyParked(t, p)
+
+	if got := m.WakeToRun.Snapshot().Count; got != base {
+		t.Errorf("spurious wake recorded wake-to-run samples: count %d -> %d", base, got)
+	}
+	if got := p.Stats().Parks; got <= parksBefore {
+		t.Errorf("spuriously woken worker did not re-park: parks %d -> %d", parksBefore, got)
+	}
+
+	// A wakeup that obtains a task must record: submit real work into the
+	// fully parked pool.
+	var ran atomic.Bool
+	j, err := p.SubmitRoot(func(c *Ctx) { ran.Store(true) }, 0, 1)
+	if err != nil {
+		t.Fatalf("SubmitRoot: %v", err)
+	}
+	waitRoot(t, j)
+	if !ran.Load() {
+		t.Fatal("root did not run")
+	}
+	if got := m.WakeToRun.Snapshot().Count; got <= base {
+		t.Errorf("real wake recorded no wake-to-run sample: count still %d", got)
+	}
+}
+
+// TestMetricsParityWithStats pins the 1:1 pairing between histogram
+// records and the scheduler counters they instrument: every completed
+// park (== a wake) records exactly one park duration, and every victim
+// probe records exactly one steal-attempt latency.
+func TestMetricsParityWithStats(t *testing.T) {
+	for _, pol := range []Policy{WS, ADWS} {
+		p, m := newMetricsPool(t, pol, 4)
+		for i := 0; i < 3; i++ {
+			var s int64
+			p.Run(func(c *Ctx) { treeSum(c, 0, 2000, &s, 0) })
+		}
+		awaitFullyParked(t, p)
+
+		st := p.Stats()
+		if got := m.Park.Snapshot().Count; got != st.Wakes {
+			t.Errorf("%v: park histogram count %d, want %d (== wakes)", pol, got, st.Wakes)
+		}
+		if got := m.StealAttempt.Snapshot().Count; got != st.StealAttempts {
+			t.Errorf("%v: steal-attempt histogram count %d, want %d (== steal attempts)",
+				pol, got, st.StealAttempts)
+		}
+		if st.StealAttempts == 0 {
+			t.Errorf("%v: run made no steal attempts; parity check is vacuous", pol)
+		}
+	}
+}
+
+// TestMetricsCheckShards pins the NewPool-time validation: histograms
+// with fewer shards than workers must be rejected before any worker can
+// record out of range.
+func TestMetricsCheckShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool accepted a Metrics histogram with too few shards")
+		}
+	}()
+	NewPool(Config{
+		Machine: topology.Flat(4, 32<<20, 1<<20),
+		Policy:  ADWS,
+		Seed:    1,
+		Metrics: &Metrics{
+			Park:         metrics.NewStandaloneHistogram(1),
+			StealAttempt: metrics.NewStandaloneHistogram(4),
+			WakeToRun:    metrics.NewStandaloneHistogram(4),
+		},
+	})
+}

@@ -235,9 +235,23 @@ func (w *worker) park(g *taskGroup, minDepth int) *task {
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvPark, Time: now()})
 	}
+	m := p.metrics
+	var parkStart int64
+	if m != nil {
+		// Blocking again makes any pending wake spurious: that wakeup never
+		// led to a task, so drop its wake-to-run measurement instead of
+		// recording a duration that ends in another park.
+		w.wakeAt = 0
+		parkStart = now()
+	}
 	w.stats.parks.Add(1)
 	<-w.parkCh
 	w.stats.wakes.Add(1)
+	if m != nil {
+		wokeAt := now()
+		m.Park.Record(w.id, wokeAt-parkStart)
+		w.wakeAt = wokeAt
+	}
 	if tr != nil {
 		tr.Record(w.id, trace.Event{Type: trace.EvWake, Time: now()})
 	}

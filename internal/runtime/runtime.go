@@ -82,6 +82,10 @@ type Config struct {
 	// It must have at least as many rings as the pool has workers. A nil
 	// Tracer costs one pointer check per event site.
 	Tracer *trace.Tracer
+	// Metrics, if non-nil, receives park, steal-probe, and wake-to-run
+	// latencies. Its histograms must have at least one shard per worker.
+	// A nil Metrics costs one pointer check per site, like the Tracer.
+	Metrics *Metrics
 }
 
 // Pool is a running worker pool.
@@ -92,6 +96,9 @@ type Pool struct {
 	// tracer is nil unless tracing was requested; every event site guards
 	// on that single pointer.
 	tracer *trace.Tracer
+	// metrics is nil unless latency recording was requested; same
+	// one-pointer-check contract as the tracer.
+	metrics *Metrics
 	// taskSeq issues task creation ordinals, only when tracing.
 	taskSeq atomic.Int64
 
@@ -285,11 +292,15 @@ func NewPool(cfg Config) *Pool {
 	if cfg.Machine == nil {
 		cfg.Machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
 	}
-	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy, tracer: cfg.Tracer}
+	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy,
+		tracer: cfg.Tracer, metrics: cfg.Metrics}
 	n := cfg.Machine.NumWorkers()
 	if p.tracer != nil && p.tracer.NumWorkers() < n {
 		panic(fmt.Sprintf("runtime: tracer has %d worker rings, pool needs %d",
 			p.tracer.NumWorkers(), n))
+	}
+	if p.metrics != nil {
+		p.metrics.checkShards(n)
 	}
 	p.idleWords = make([]paddedWord, (n+63)/64)
 	p.workers = make([]*worker, n)
@@ -552,6 +563,11 @@ type worker struct {
 	// idleSince marks the start of the current idle stretch (monotonic
 	// ns), or 0 when not idle. Only the owning worker writes it.
 	idleSince int64
+	// wakeAt is the timestamp of the last park wakeup whose wake-to-run
+	// latency has not been recorded yet, or 0. Owner-only; cleared by
+	// noteRunAfterWake or by the next blocking park (a spurious wake must
+	// not pollute the histogram). Unused when pool.metrics is nil.
+	wakeAt int64
 }
 
 // now returns a monotonic timestamp in nanoseconds.

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"github.com/parlab/adws/internal/metrics"
+)
+
+// Metrics is the server's latency and admission recording surface. A nil
+// *Metrics in Config disables recording at one pointer check per site
+// (the runtime's tracer/metrics contract); when non-nil every field must
+// be non-nil. The server has no per-worker recorder identity — admission
+// runs on client goroutines — so histograms are recorded via RecordAny
+// and a handful of shards suffices.
+type Metrics struct {
+	// QueueWait records submit → dispatch for jobs that reached Running.
+	QueueWait *metrics.Histogram
+	// Service records dispatch → terminal state for jobs that ran.
+	Service *metrics.Histogram
+	// E2E records submit → terminal state for every job, including jobs
+	// canceled or expired while still queued.
+	E2E *metrics.Histogram
+	// Rejected counts ErrOverloaded fast-rejects.
+	Rejected *metrics.Counter
+	// Expired counts jobs canceled while queued because their deadline
+	// (or submission context) expired before dispatch.
+	Expired *metrics.Counter
+}
+
+// check panics on a partially populated Metrics, at New time rather than
+// at the first nil-field record site.
+func (m *Metrics) check() {
+	if m.QueueWait == nil || m.Service == nil || m.E2E == nil ||
+		m.Rejected == nil || m.Expired == nil {
+		panic("server: Metrics fields must all be non-nil")
+	}
+}
+
+// noteReject records an admission fast-reject.
+func (s *Server) noteReject() {
+	if m := s.metrics; m != nil {
+		m.Rejected.Inc()
+	}
+}
+
+// noteQueueExpiry records a job canceled while queued; err is the
+// context error that canceled it.
+func (s *Server) noteQueueExpiry(err error) {
+	if m := s.metrics; m != nil && errors.Is(err, context.DeadlineExceeded) {
+		m.Expired.Inc()
+	}
+}
+
+// noteDispatch records j's queue wait. Caller holds s.mu (the job
+// timestamps are mu-guarded); recording itself is lock-free.
+func (s *Server) noteDispatch(j *Job) {
+	if m := s.metrics; m != nil {
+		m.QueueWait.RecordAny(int64(j.started.Sub(j.submitted)))
+	}
+}
+
+// noteComplete records j's service and end-to-end latency at terminal
+// transition. Jobs that never ran (canceled or rejected from the queue)
+// have no service span but still count end-to-end. Caller holds s.mu.
+func (s *Server) noteComplete(j *Job) {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	if !j.started.IsZero() {
+		m.Service.RecordAny(int64(j.finished.Sub(j.started)))
+	}
+	m.E2E.RecordAny(int64(j.finished.Sub(j.submitted)))
+}
+
+// serverHistShards is the shard count job-latency histograms need:
+// recording happens under or next to s.mu, so contention is already
+// bounded and a few shards only serve to absorb RecordAny bursts.
+const serverHistShards = 4
+
+// NewMetrics builds a fully populated Metrics recording into histograms
+// and counters registered on r under the standard adws_job_* names.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		QueueWait: r.Histogram("adws_job_queue_wait_seconds",
+			"Job admission latency: submit to dispatch.", serverHistShards),
+		Service: r.Histogram("adws_job_service_seconds",
+			"Job service time: dispatch to terminal state.", serverHistShards),
+		E2E: r.Histogram("adws_job_e2e_seconds",
+			"Job end-to-end latency: submit to terminal state.", serverHistShards),
+		Rejected: r.Counter("adws_jobs_rejected_total",
+			"Jobs fast-rejected at admission (queue full)."),
+		Expired: r.Counter("adws_jobs_deadline_expired_total",
+			"Jobs whose deadline expired while still queued."),
+	}
+}

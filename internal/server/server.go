@@ -53,6 +53,10 @@ type Config struct {
 	// RetainDone caps how many terminal jobs the id lookup keeps, oldest
 	// evicted first (<= 0: 1024). In-flight jobs are always retained.
 	RetainDone int
+	// Metrics, if non-nil, receives per-job queue-wait, service, and
+	// end-to-end latencies plus admission reject / deadline-expiry counts
+	// (see Metrics). Nil disables recording at one pointer check per site.
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults(workers int) Config {
@@ -77,6 +81,8 @@ type Counters struct {
 type Server struct {
 	pool *runtime.Pool
 	cfg  Config
+	// metrics is nil unless latency recording was requested.
+	metrics *Metrics
 
 	mu       sync.Mutex
 	queue    []*Job
@@ -96,10 +102,14 @@ type Server struct {
 // New creates a job server over pool. The server starts no goroutines
 // until jobs are submitted.
 func New(pool *runtime.Pool, cfg Config) *Server {
+	if cfg.Metrics != nil {
+		cfg.Metrics.check()
+	}
 	return &Server{
-		pool: pool,
-		cfg:  cfg.withDefaults(pool.NumWorkers()),
-		jobs: make(map[int64]*Job),
+		pool:    pool,
+		cfg:     cfg.withDefaults(pool.NumWorkers()),
+		metrics: cfg.Metrics,
+		jobs:    make(map[int64]*Job),
 	}
 }
 
@@ -127,6 +137,7 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 		return nil, ErrDraining
 	case len(s.queue) >= s.cfg.MaxQueue:
 		s.ctrs.Rejected++
+		s.noteReject()
 		return nil, ErrOverloaded
 	}
 
@@ -170,6 +181,7 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 				break
 			}
 		}
+		s.noteQueueExpiry(j.ctx.Err())
 		s.completeLocked(j, Canceled, j.ctx.Err())
 	})
 	j.stopWatch = stop
@@ -202,6 +214,7 @@ func (s *Server) dispatchLocked(j *Job) {
 	j.started = time.Now()
 	j.root = root
 	j.lo, j.hi = lo, hi
+	s.noteDispatch(j)
 	go s.reap(j, work)
 }
 
@@ -300,6 +313,7 @@ func (s *Server) completeLocked(j *Job, st State, err error) {
 	j.state = st
 	j.err = err
 	j.finished = time.Now()
+	s.noteComplete(j)
 	j.cancel()
 	switch st {
 	case Done:

@@ -1,0 +1,113 @@
+package adws
+
+import (
+	"strconv"
+	"sync"
+
+	"github.com/parlab/adws/internal/metrics"
+	"github.com/parlab/adws/internal/runtime"
+	"github.com/parlab/adws/internal/server"
+)
+
+// MetricsRegistry renders the pool's metrics as Prometheus text
+// exposition (format 0.0.4): the scheduling counters, the admission
+// state, and the latency histograms recorded by the runtime (park,
+// steal-probe, wake-to-run) and the job server (queue-wait, service,
+// end-to-end). Obtain a pool's registry with Pool.Metrics and render
+// with WriteText; see docs/METRICS.md for the metric catalogue.
+type MetricsRegistry = metrics.Registry
+
+// newPoolRegistry builds the registry and the runtime recording surface.
+// The runtime histograms must exist before the runtime pool (workers
+// record into per-worker shards from their first park), so this runs
+// first and registerPoolMetrics completes the wiring once the pool and
+// server objects exist.
+func newPoolRegistry(workers int) (*metrics.Registry, *runtime.Metrics) {
+	reg := metrics.NewRegistry()
+	rtm := &runtime.Metrics{
+		Park: reg.Histogram("adws_park_seconds",
+			"Worker blocking-park duration, park to wake.", workers),
+		StealAttempt: reg.Histogram("adws_steal_attempt_seconds",
+			"Latency of individual steal victim probes.", workers),
+		WakeToRun: reg.Histogram("adws_wake_to_run_seconds",
+			"Park wakeup to first task obtained (spurious wakes excluded).", workers),
+	}
+	return reg, rtm
+}
+
+// registerPoolMetrics registers the render-time families: every metric
+// name the daemon's hand-rolled /metrics used to emit (kept stable), the
+// per-worker vectors (now with proper TYPE headers), and the admission
+// outcome counters. All of them read from one snapshot taken per render
+// by the OnRender hook, so adws_jobs_queued and adws_jobs_running come
+// from a single InFlight() call and the worker vectors from a single
+// Stats() call.
+func registerPoolMetrics(reg *metrics.Registry, p *Pool) {
+	var mu sync.Mutex
+	var st Stats
+	var queued, running int
+	var ctrs server.Counters
+	reg.OnRender(func() {
+		s := p.p.Stats()
+		q, r := p.srv.InFlight()
+		c := p.srv.Counters()
+		mu.Lock()
+		st, queued, running, ctrs = s, q, r, c
+		mu.Unlock()
+	})
+	get := func(f func() float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("adws_tasks_total", "Tasks executed.",
+		get(func() float64 { return float64(st.Tasks) }))
+	reg.CounterFunc("adws_steals_total", "Successful steals.",
+		get(func() float64 { return float64(st.Steals) }))
+	reg.CounterFunc("adws_steal_attempts_total", "Steal victim probes.",
+		get(func() float64 { return float64(st.StealAttempts) }))
+	reg.CounterFunc("adws_migrations_total", "Deterministic task migrations.",
+		get(func() float64 { return float64(st.Migrations) }))
+	reg.CounterFunc("adws_parks_total", "Worker blocking parks.",
+		get(func() float64 { return float64(st.Parks) }))
+	reg.CounterFunc("adws_wakes_total", "Wake tokens consumed by workers.",
+		get(func() float64 { return float64(st.Wakes) }))
+	reg.CounterFunc("adws_busy_seconds_total", "Wall-clock task-execution time summed over workers.",
+		get(func() float64 { return float64(st.BusyNS) / 1e9 }))
+	reg.CounterFunc("adws_idle_seconds_total", "Wall-clock work-search time summed over workers.",
+		get(func() float64 { return float64(st.IdleNS) / 1e9 }))
+	reg.GaugeFunc("adws_workers", "Pool worker count.",
+		func() float64 { return float64(p.p.NumWorkers()) })
+	workerVec := func(field func(WorkerStats) int64) func() []metrics.Labeled {
+		return func() []metrics.Labeled {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]metrics.Labeled, len(st.PerWorker))
+			for i, ws := range st.PerWorker {
+				out[i] = metrics.Labeled{
+					Label: strconv.Itoa(ws.Worker),
+					Value: float64(field(ws)),
+				}
+			}
+			return out
+		}
+	}
+	reg.CounterVecFunc("adws_worker_tasks_total", "Tasks executed per worker.",
+		"worker", workerVec(func(ws WorkerStats) int64 { return ws.Tasks }))
+	reg.CounterVecFunc("adws_worker_steals_total", "Successful steals per worker.",
+		"worker", workerVec(func(ws WorkerStats) int64 { return ws.Steals }))
+	reg.GaugeFunc("adws_jobs_queued", "Jobs waiting in the admission queue.",
+		get(func() float64 { return float64(queued) }))
+	reg.GaugeFunc("adws_jobs_running", "Jobs currently running.",
+		get(func() float64 { return float64(running) }))
+	reg.CounterFunc("adws_jobs_submitted_total", "Jobs admitted (queued or dispatched).",
+		get(func() float64 { return float64(ctrs.Submitted) }))
+	reg.CounterFunc("adws_jobs_completed_total", "Jobs that reached Done.",
+		get(func() float64 { return float64(ctrs.Completed) }))
+	reg.CounterFunc("adws_jobs_failed_total", "Jobs that reached Failed.",
+		get(func() float64 { return float64(ctrs.Failed) }))
+	reg.CounterFunc("adws_jobs_canceled_total", "Jobs canceled before or while running.",
+		get(func() float64 { return float64(ctrs.Canceled) }))
+}

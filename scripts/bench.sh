@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — produce (or, with -smoke, validate) one committed perf
+# trajectory point.
+#
+# Full mode (no args) produces BENCH_NNNN.json in the repo root, where
+# NNNN is one past the highest committed point:
+#
+#   1. adwsbench -figure run: one traced reference simulation
+#      (twolevel16, quicksort, sl-adws) whose -json result becomes the
+#      point's `sim` half — simulated time, steal/migration counts,
+#      task-span and steal-distance quantiles. Deterministic: the same
+#      seed simulates the same schedule on any machine.
+#   2. adwsload: a real run — 64 quicksort jobs through an 8-worker
+#      ADWS pool — whose registry histograms (queue-wait, service, e2e,
+#      park, steal-attempt, wake-to-run) become the `serve` half.
+#      Machine-dependent: comparable across points only on like
+#      hardware, which is why the sim half exists.
+#
+# Smoke mode (-smoke, run by check.sh and CI) never measures: it
+# schema-checks every committed BENCH_*.json via benchfmt.Validate and
+# does one tiny adwsload run whose rendered /metrics exposition is
+# re-parsed with the strict internal parser. Fails on any malformed
+# committed point or invalid exposition.
+#
+# Usage: scripts/bench.sh [-smoke]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-smoke" ]; then
+    echo "==> bench smoke: validate committed trajectory points"
+    if compgen -G "BENCH_*.json" >/dev/null; then
+        go run ./cmd/adwsload -validate 'BENCH_*.json'
+    else
+        echo "no BENCH_*.json committed yet; skipping validation"
+    fi
+    echo "==> bench smoke: tiny serve run + exposition self-check"
+    go run ./cmd/adwsload -smoke
+    echo "OK: bench smoke passed"
+    exit 0
+fi
+
+# Next point number: one past the highest committed BENCH_NNNN.json.
+# Points are numbered by the PR that produced them; the trajectory
+# started at PR 6, so the first point is BENCH_0006.json.
+last=$({ ls BENCH_*.json 2>/dev/null || true; } | sed -E 's/^BENCH_([0-9]+)\.json$/\1/' | sort -n | tail -1)
+next=$(printf '%04d' $((10#${last:-5} + 1)))
+out="BENCH_${next}.json"
+sim=$(mktemp /tmp/adws_sim.XXXXXX.json)
+trap 'rm -f "$sim"' EXIT
+
+echo "==> reference simulation (adwsbench -figure run)"
+go run ./cmd/adwsbench -figure run -machine twolevel16 -bench quicksort \
+    -mode sl-adws -json "$sim"
+
+echo "==> serve measurement (adwsload) -> $out"
+go run ./cmd/adwsload -workers 8 -sched adws -jobs 64 -workload quicksort \
+    -seed 1 -sim "$sim" -json "$out" -id "$next"
+
+go run ./cmd/adwsload -validate "$out"
+echo "OK: wrote $out"

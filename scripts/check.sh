@@ -19,6 +19,11 @@
 #      One iteration of every benchmark, so a refactor that breaks a
 #      benchmark harness (or deadlocks the parked-pool submit path) fails
 #      here instead of at measurement time.
+#   7. scripts/bench.sh -smoke                       trajectory smoke
+#      Schema-checks every committed BENCH_*.json perf-trajectory point
+#      and does one tiny adwsload run whose /metrics exposition is
+#      re-parsed with the strict internal parser, so a registry change
+#      that breaks scrapes or the committed trajectory fails here.
 #
 # Usage: scripts/check.sh   (from the repo root, or anywhere inside it)
 set -euo pipefail
@@ -46,5 +51,7 @@ go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... 
 
 echo "==> go test -run='^\$' -bench=. -benchtime=1x ./...   (benchmark smoke)"
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+scripts/bench.sh -smoke
 
 echo "OK: all checks passed"
