@@ -98,6 +98,10 @@ type JobStats = server.Stats
 // JobState is a job's lifecycle state.
 type JobState = server.State
 
+// Counters are a pool's monotonic admission counters: jobs submitted,
+// fast-rejected, and finished by terminal state.
+type Counters = server.Counters
+
 // Job lifecycle states.
 const (
 	JobQueued   = server.Queued
@@ -313,6 +317,9 @@ func (p *Pool) Scheduler() Scheduler { return p.p.Policy() }
 
 // Stats returns scheduling counters accumulated since pool creation.
 func (p *Pool) Stats() Stats { return p.p.Stats() }
+
+// Counters returns the pool's monotonic admission counters.
+func (p *Pool) Counters() Counters { return p.srv.Counters() }
 
 // Tracer returns the pool's event tracer, or nil unless WithTracing was
 // given. Read it (Events, Summarize, WriteChromeTrace) only while no Run

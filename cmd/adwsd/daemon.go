@@ -19,6 +19,10 @@ import (
 type jobRequest struct {
 	// Workload names a built-in workload (see workload.JobNames).
 	Workload string `json:"workload"`
+	// Key is the routing key the cluster's affinity policy keeps on warm
+	// pools. Empty defaults to "<workload>/<n>", so repeats of the same
+	// computation are warm by construction.
+	Key string `json:"key,omitempty"`
 	// N is the problem size (0: the workload's default).
 	N int `json:"n,omitempty"`
 	// Seed drives the pseudo-random input (default 1).
@@ -31,10 +35,15 @@ type jobRequest struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
-// jobResponse describes one job in GET /jobs[/{id}] and POST /jobs.
+// jobResponse describes one job in GET /jobs[/{id}] and POST /jobs. ID
+// is the cluster-wide id; Pool and Verdict record where routing placed
+// the job and whether that pool was warm for its key.
 type jobResponse struct {
 	ID       int64   `json:"id"`
 	Workload string  `json:"workload"`
+	Key      string  `json:"key,omitempty"`
+	Pool     int     `json:"pool"`
+	Verdict  string  `json:"verdict"`
 	State    string  `json:"state"`
 	Error    string  `json:"error,omitempty"`
 	QueuedMS float64 `json:"queued_ms"`
@@ -46,13 +55,45 @@ type jobResponse struct {
 	Migrs    int64   `json:"migrations"`
 }
 
+// poolResponse is one pool's entry in GET /pools.
+type poolResponse struct {
+	Pool      int          `json:"pool"`
+	Workers   int          `json:"workers"`
+	Scheduler string       `json:"scheduler"`
+	Queued    int          `json:"queued"`
+	Running   int          `json:"running"`
+	Admission countersJSON `json:"admission"`
+	Routing   routingJSON  `json:"routing"`
+}
+
+type countersJSON struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+}
+
+type routingJSON struct {
+	Jobs     int64   `json:"jobs"`
+	Warm     int64   `json:"warm"`
+	Cold     int64   `json:"cold"`
+	Spill    int64   `json:"spill"`
+	Moved    int64   `json:"moved"`
+	Rejected int64   `json:"rejected"`
+	WarmRate float64 `json:"warm_rate"`
+}
+
 // builder constructs a named workload; the daemon's registry maps
 // workload names to builders (tests may inject extra entries).
 type builder func(n int, seed uint64) (workload.Job, error)
 
-// daemon is the HTTP job-serving frontend over one adws pool.
+// daemon is the HTTP job-serving frontend over a cluster of pools. A
+// single-pool cluster behaves exactly like the old one-pool daemon
+// (cluster ids coincide with pool ids); with -pools N the router fans
+// jobs out and /pools exposes the per-pool routing ledger.
 type daemon struct {
-	pool      *adws.Pool
+	cluster   *adws.Cluster
 	workloads map[string]builder
 	// traceMetrics enables the trace-derived section of /metrics. The
 	// tracer's rings may only be read while the pool is quiescent
@@ -61,13 +102,13 @@ type daemon struct {
 	traceMetrics bool
 
 	mu    sync.Mutex
-	names map[int64]string // job id -> workload name
+	names map[int64]string // cluster job id -> workload name
 	start time.Time
 }
 
-func newDaemon(pool *adws.Pool, traceMetrics bool) *daemon {
+func newDaemon(cluster *adws.Cluster, traceMetrics bool) *daemon {
 	d := &daemon{
-		pool:         pool,
+		cluster:      cluster,
 		workloads:    make(map[string]builder),
 		traceMetrics: traceMetrics,
 		names:        make(map[int64]string),
@@ -88,6 +129,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /jobs", d.postJob)
 	mux.HandleFunc("GET /jobs", d.listJobs)
 	mux.HandleFunc("GET /jobs/{id}", d.getJob)
+	mux.HandleFunc("GET /pools", d.listPools)
 	mux.HandleFunc("GET /healthz", d.healthz)
 	mux.HandleFunc("GET /metrics", d.metrics)
 	return mux
@@ -124,8 +166,12 @@ func (d *daemon) postJob(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		hint.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
+	key := req.Key
+	if key == "" {
+		key = fmt.Sprintf("%s/%d", wj.Name, wj.N)
+	}
 	body := wj.Body
-	j, err := d.pool.Submit(context.Background(), func(c *adws.Ctx) error { return body(c) }, hint)
+	j, err := d.cluster.Submit(context.Background(), key, func(c *adws.Ctx) error { return body(c) }, hint)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, adws.ErrOverloaded) || errors.Is(err, adws.ErrDraining) ||
@@ -136,7 +182,7 @@ func (d *daemon) postJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.mu.Lock()
-	d.names[j.ID()] = wj.Name
+	d.names[j.ClusterID()] = wj.Name
 	d.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, d.describe(j))
 }
@@ -147,7 +193,7 @@ func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
 		return
 	}
-	j, ok := d.pool.Job(id)
+	j, ok := d.cluster.Job(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
 		return
@@ -156,7 +202,7 @@ func (d *daemon) getJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemon) listJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := d.pool.Jobs()
+	jobs := d.cluster.Jobs()
 	out := make([]jobResponse, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, d.describe(j))
@@ -164,14 +210,52 @@ func (d *daemon) listJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (d *daemon) describe(j *adws.Job) jobResponse {
+// listPools renders the per-pool routing ledger: load, admission
+// counters, and the warm/cold/spill/moved partition of routed jobs.
+func (d *daemon) listPools(w http.ResponseWriter, r *http.Request) {
+	counts := d.cluster.RouteCounts()
+	pools := make([]poolResponse, d.cluster.NumPools())
+	for i := range pools {
+		p := d.cluster.Pool(i)
+		queued, running := p.InFlight()
+		ctr := p.Counters()
+		rc := counts[i]
+		pools[i] = poolResponse{
+			Pool:      i,
+			Workers:   p.NumWorkers(),
+			Scheduler: p.Scheduler().String(),
+			Queued:    queued,
+			Running:   running,
+			Admission: countersJSON{
+				Submitted: ctr.Submitted,
+				Rejected:  ctr.Rejected,
+				Completed: ctr.Completed,
+				Failed:    ctr.Failed,
+				Canceled:  ctr.Canceled,
+			},
+			Routing: routingJSON{
+				Jobs: rc.Jobs, Warm: rc.Warm, Cold: rc.Cold,
+				Spill: rc.Spill, Moved: rc.Moved, Rejected: rc.Rejected,
+				WarmRate: rc.WarmRate(),
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy": d.cluster.Policy(),
+		"pools":  pools,
+	})
+}
+
+func (d *daemon) describe(j *adws.ClusterJob) jobResponse {
 	st := j.Stats()
 	d.mu.Lock()
-	name := d.names[j.ID()]
+	name := d.names[j.ClusterID()]
 	d.mu.Unlock()
 	resp := jobResponse{
-		ID:       j.ID(),
+		ID:       j.ClusterID(),
 		Workload: name,
+		Pool:     j.Pool(),
+		Verdict:  string(j.Verdict()),
 		State:    j.State().String(),
 		QueuedMS: float64(st.Queued) / 1e6,
 		RunMS:    float64(st.Run) / 1e6,
@@ -188,35 +272,52 @@ func (d *daemon) describe(j *adws.Job) jobResponse {
 }
 
 func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
-	queued, running := d.pool.InFlight()
+	queued, running := d.cluster.InFlight()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"uptime_s":  time.Since(d.start).Seconds(),
-		"workers":   d.pool.NumWorkers(),
-		"scheduler": d.pool.Scheduler().String(),
+		"pools":     d.cluster.NumPools(),
+		"policy":    d.cluster.Policy(),
+		"workers":   d.cluster.Workers(),
+		"scheduler": d.cluster.Pool(0).Scheduler().String(),
 		"queued":    queued,
 		"running":   running,
 	})
 }
 
-// metrics renders the pool's metrics registry as Prometheus text
-// exposition: the scheduling counters and admission state of the old
-// hand-rolled handler (every name unchanged, now with proper TYPE
-// headers on the per-worker vectors) plus the latency histograms —
-// adws_park_seconds, adws_steal_attempt_seconds, adws_wake_to_run_seconds,
-// adws_job_queue_wait_seconds, adws_job_service_seconds,
-// adws_job_e2e_seconds. Histogram recording is lock-free, so scrapes are
-// valid under concurrent job load. Trace-derived metrics (dominant-group
-// hit rate, steal distances) are appended only when the daemon was
-// started with -tracemetrics AND no job is in flight, since reading the
-// trace rings requires quiescence.
+// metrics renders Prometheus text exposition. The default scrape is the
+// cluster registry (adws_cluster_* routing counters and per-pool load
+// gauges); a single-pool daemon appends its pool's full registry so the
+// one-pool scrape keeps every family the pre-cluster daemon exposed.
+// ?pool=i scrapes pool i's own registry instead (scheduler counters,
+// admission gauges, latency histograms). Trace-derived metrics
+// (dominant-group hit rate, steal distances) are appended to a pool
+// scrape only when the daemon was started with -tracemetrics AND the
+// pool has no job in flight, since reading the trace rings requires
+// quiescence.
 func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = d.pool.Metrics().WriteText(w)
+	if s := r.URL.Query().Get("pool"); s != "" {
+		i, err := strconv.Atoi(s)
+		if err != nil || i < 0 || i >= d.cluster.NumPools() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad pool %q (have %d pools)", s, d.cluster.NumPools()))
+			return
+		}
+		d.poolMetrics(w, i)
+		return
+	}
+	_ = d.cluster.Metrics().WriteText(w)
+	if d.cluster.NumPools() == 1 {
+		d.poolMetrics(w, 0)
+	}
+}
 
+func (d *daemon) poolMetrics(w http.ResponseWriter, i int) {
+	p := d.cluster.Pool(i)
+	_ = p.Metrics().WriteText(w)
 	if d.traceMetrics {
-		if queued, running := d.pool.InFlight(); queued == 0 && running == 0 {
-			if tr := d.pool.Tracer(); tr != nil {
+		if queued, running := p.InFlight(); queued == 0 && running == 0 {
+			if tr := p.Tracer(); tr != nil {
 				d.traceSection(w, tr)
 			}
 		}

@@ -34,8 +34,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
+	c, err := adws.ClusterOf(adws.RouteRoundRobin, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	d := newDaemon(pool, false)
+	d := newDaemon(c, false)
 	release := make(chan struct{})
 	d.workloads["block"] = func(n int, seed uint64) (workload.Job, error) {
 		return workload.Job{Name: "block", N: n, Work: 1,
@@ -190,7 +194,11 @@ func TestDaemonHealthAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	d := newDaemon(pool, true)
+	c, err := adws.ClusterOf(adws.RouteAffinity, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDaemon(c, true)
 	ts := httptest.NewServer(d.handler())
 	defer ts.Close()
 
@@ -245,7 +253,11 @@ func TestDaemonBadRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	ts := httptest.NewServer(newDaemon(pool, false).handler())
+	c, err := adws.ClusterOf(adws.RouteRoundRobin, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newDaemon(c, false).handler())
 	defer ts.Close()
 
 	if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "no-such"}`); code != http.StatusBadRequest {
@@ -306,7 +318,11 @@ func TestDaemonMetricsScrapeUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	d := newDaemon(pool, false)
+	c, err := adws.ClusterOf(adws.RouteRoundRobin, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDaemon(c, false)
 	release := make(chan struct{})
 	d.workloads["block"] = func(n int, seed uint64) (workload.Job, error) {
 		return workload.Job{Name: "block", N: n, Work: 1,
@@ -414,4 +430,172 @@ func TestDaemonMetricsScrapeUnderLoad(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestDaemonMultiPoolRouting drives a 2-pool affinity daemon: repeated
+// keys stay on their warm pool (visible in each job's pool/verdict
+// fields), /pools exposes the per-pool routing ledger, jobs are
+// addressable across pools by cluster id, and /metrics grows the
+// cluster families plus per-pool scrapes via ?pool=i.
+func TestDaemonMultiPoolRouting(t *testing.T) {
+	c, err := adws.NewCluster([]int{2, 2}, adws.RouteAffinity,
+		adws.WithScheduler(adws.ADWS), adws.WithAdmission(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d := newDaemon(c, false)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// 3 keys x 3 rounds, sequentially: round one is cold, later rounds
+	// must come back warm on the same pool.
+	poolOf := make(map[string]int)
+	var ids []int64
+	for round := 0; round < 3; round++ {
+		for _, key := range []string{"ka", "kb", "kc"} {
+			code, jr := postJSON(t, ts.URL+"/jobs",
+				fmt.Sprintf(`{"workload": "fib", "n": 18, "key": %q}`, key))
+			if code != http.StatusAccepted {
+				t.Fatalf("POST key %s: status %d", key, code)
+			}
+			if round == 0 {
+				if jr.Verdict != "cold" {
+					t.Errorf("round 0 key %s: verdict %q, want cold", key, jr.Verdict)
+				}
+				poolOf[key] = jr.Pool
+			} else {
+				if jr.Verdict != "warm" || jr.Pool != poolOf[key] {
+					t.Errorf("round %d key %s: pool %d verdict %q, want warm on pool %d",
+						round, key, jr.Pool, jr.Verdict, poolOf[key])
+				}
+			}
+			ids = append(ids, jr.ID)
+			waitDaemonJob(t, ts.URL, jr.ID)
+		}
+	}
+
+	// Cluster ids resolve regardless of which pool ran the job.
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jr.State != "done" || jr.Key != "" && jr.Workload == "" {
+			t.Errorf("job %d: %+v", id, jr)
+		}
+	}
+
+	// /pools: policy + per-pool ledger; warm/cold totals match the stream.
+	resp, err := http.Get(ts.URL + "/pools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pl struct {
+		Policy string         `json:"policy"`
+		Pools  []poolResponse `json:"pools"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pl.Policy != adws.RouteAffinity || len(pl.Pools) != 2 {
+		t.Fatalf("/pools = policy %q, %d pools", pl.Policy, len(pl.Pools))
+	}
+	var jobs, warm, cold int64
+	for i, p := range pl.Pools {
+		if p.Pool != i || p.Workers != 2 {
+			t.Errorf("pool %d entry = %+v", i, p)
+		}
+		jobs += p.Routing.Jobs
+		warm += p.Routing.Warm
+		cold += p.Routing.Cold
+		if p.Admission.Submitted != p.Routing.Jobs {
+			t.Errorf("pool %d: admission submitted %d != routed %d",
+				i, p.Admission.Submitted, p.Routing.Jobs)
+		}
+	}
+	if jobs != 9 || warm != 6 || cold != 3 {
+		t.Errorf("routing totals jobs/warm/cold = %d/%d/%d, want 9/6/3", jobs, warm, cold)
+	}
+
+	// Multi-pool /metrics: cluster families only; ?pool=i adds that
+	// pool's registry; out-of-range pool is a 400.
+	body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "adws_cluster_routed_total") || strings.Contains(body, "adws_tasks_total") {
+		t.Errorf("multi-pool /metrics wrong families:\n%s", body)
+	}
+	if _, err := metrics.ParseText(body); err != nil {
+		t.Errorf("cluster scrape is not valid exposition: %v", err)
+	}
+	body = getBody(t, ts.URL+"/metrics?pool=1")
+	if !strings.Contains(body, "adws_tasks_total") || !strings.Contains(body, "adws_workers 2") {
+		t.Errorf("/metrics?pool=1 missing pool families:\n%s", body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics?pool=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/metrics?pool=7: status %d, want 400", resp.StatusCode)
+	}
+
+	// /healthz reports the cluster shape.
+	var health map[string]any
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["pools"] != float64(2) || health["workers"] != float64(4) || health["policy"] != adws.RouteAffinity {
+		t.Errorf("healthz = %v", health)
+	}
+}
+
+// waitDaemonJob polls GET /jobs/{id} until the job is terminal.
+func waitDaemonJob(t *testing.T, base string, id int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch jr.State {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %d: state %q error %q", id, jr.State, jr.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %d did not finish", id)
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
 }

@@ -1,17 +1,22 @@
-// Command adwsd serves named adws workloads as jobs over HTTP on one
-// persistent worker pool, exercising the job-serving layer (Pool.Submit,
-// admission control, per-job stats) end to end.
+// Command adwsd serves named adws workloads as jobs over HTTP on a
+// cluster of persistent worker pools, exercising the job-serving layer
+// (routing, admission control, per-job stats) end to end. With the
+// default -pools 1 it behaves as a single-pool daemon; with -pools N
+// each submitted job is routed to one pool by the -policy router and
+// /pools exposes the per-pool routing ledger.
 //
 // Endpoints:
 //
-//	POST /jobs       {"workload": "quicksort", "n": 500000, "work": 2, ...}
-//	GET  /jobs       all retained jobs
-//	GET  /jobs/{id}  one job
-//	GET  /healthz    liveness + admission state
-//	GET  /metrics    Prometheus-style text exposition
+//	POST /jobs            {"workload": "quicksort", "n": 500000, "key": "sort-a", ...}
+//	GET  /jobs            all retained jobs
+//	GET  /jobs/{id}       one job
+//	GET  /pools           per-pool load, admission counters, routing ledger
+//	GET  /healthz         liveness + admission state
+//	GET  /metrics         cluster registry (+ pool registry when -pools 1)
+//	GET  /metrics?pool=i  pool i's registry
 //
 // Shutdown: SIGINT/SIGTERM drains in-flight jobs (bounded by -draintimeout)
-// before closing the pool.
+// before closing the pools.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -33,12 +39,15 @@ func main() {
 	var (
 		addr         = flag.String("addr", "localhost:7117", "listen address")
 		schedName    = flag.String("sched", "adws", "scheduler: ws, adws, mlws, mladws")
-		workers      = flag.Int("workers", 0, "worker count (0: GOMAXPROCS)")
-		maxInFlight  = flag.Int("maxinflight", 0, "max concurrently running jobs (0: one per worker)")
-		maxQueue     = flag.Int("maxqueue", 0, "admission queue depth (0: 4x maxinflight)")
+		pools        = flag.Int("pools", 1, "pool count (shards)")
+		policy       = flag.String("policy", adws.RouteAffinity, "routing policy: "+strings.Join(adws.RoutingPolicies(), ", "))
+		workers      = flag.Int("workers", 0, "workers per pool (0: GOMAXPROCS)")
+		poolWorkers  = flag.String("poolworkers", "", "comma-separated per-pool worker counts, overrides -pools/-workers (e.g. 4,4,8)")
+		maxInFlight  = flag.Int("maxinflight", 0, "max concurrently running jobs per pool (0: one per worker)")
+		maxQueue     = flag.Int("maxqueue", 0, "admission queue depth per pool (0: 4x maxinflight)")
 		seed         = flag.Uint64("seed", 1, "victim-selection seed")
-		traceCap     = flag.Int("trace", 0, "enable tracing with this per-worker ring capacity (0: off)")
-		traceMetrics = flag.Bool("tracemetrics", false, "expose trace-derived metrics on /metrics when idle (requires -trace)")
+		traceCap     = flag.Int("trace", 0, "enable per-pool tracing with this per-worker ring capacity (0: off)")
+		traceMetrics = flag.Bool("tracemetrics", false, "expose trace-derived metrics on pool scrapes when idle (requires -trace)")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -47,31 +56,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	counts, err := parsePoolWorkers(*poolWorkers, *pools, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := []adws.Option{
 		adws.WithScheduler(sched),
 		adws.WithSeed(*seed),
 		adws.WithAdmission(*maxInFlight, *maxQueue),
 	}
-	if *workers > 0 {
-		opts = append(opts, adws.WithWorkers(*workers))
-	}
 	if *traceCap > 0 {
 		opts = append(opts, adws.WithTracing(*traceCap))
 	}
-	pool, err := adws.NewPool(opts...)
+	cluster, err := adws.NewCluster(counts, *policy, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	d := newDaemon(pool, *traceMetrics && *traceCap > 0)
+	d := newDaemon(cluster, *traceMetrics && *traceCap > 0)
 	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	log.Printf("adwsd: serving on http://%s (%s, %d workers)",
-		*addr, pool.Scheduler(), pool.NumWorkers())
+	log.Printf("adwsd: serving on http://%s (%s, %d pools, %d workers, policy %s)",
+		*addr, cluster.Pool(0).Scheduler(), cluster.NumPools(), cluster.Workers(), cluster.Policy())
 
 	select {
 	case sig := <-stop:
@@ -83,11 +93,35 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
-	if err := pool.Drain(ctx); err != nil {
+	if err := cluster.Drain(ctx); err != nil {
 		log.Printf("adwsd: drain: %v (closing anyway)", err)
 	}
-	pool.Close()
+	cluster.Close()
 	log.Printf("adwsd: bye")
+}
+
+// parsePoolWorkers resolves the per-pool worker counts: an explicit
+// -poolworkers list wins; otherwise -pools copies of -workers.
+func parsePoolWorkers(list string, pools, workers int) ([]int, error) {
+	if list == "" {
+		if pools < 1 {
+			return nil, fmt.Errorf("adwsd: -pools must be at least 1, got %d", pools)
+		}
+		counts := make([]int, pools)
+		for i := range counts {
+			counts[i] = workers
+		}
+		return counts, nil
+	}
+	var counts []int
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("adwsd: bad -poolworkers entry %q (want non-negative ints)", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func parseScheduler(name string) (adws.Scheduler, error) {

@@ -1,28 +1,38 @@
-// adwsload drives concurrent jobs through a real adws pool and reports
-// the latency distributions the runtime and server recorded — the
-// serve-side half of a committed BENCH_*.json trajectory point
+// adwsload drives concurrent jobs through a real adws pool — or a
+// multi-pool cluster, or a running adwsd daemon — and reports the
+// latency distributions the runtime and server recorded: the serve- and
+// cluster-side halves of a committed BENCH_*.json trajectory point
 // (internal/benchfmt, scripts/bench.sh, docs/METRICS.md).
 //
 // Usage:
 //
 //	adwsload -workers 8 -sched adws -jobs 64 -workload quicksort -n 200000
 //	adwsload ... -json BENCH_0006.json -sim sim.json   # emit a trajectory point
+//	adwsload -pools 2 -policy affinity -keys 7         # route through a cluster
+//	adwsload -pools 2 -compare affinity,round-robin    # policy comparison (cluster half)
+//	adwsload -target http://localhost:7117 -jobs 32    # drive a running adwsd
 //	adwsload -smoke                                    # tiny run + exposition self-check
 //	adwsload -validate 'BENCH_*.json'                  # schema-check committed points
 //
-// Unlike adwsd's HTTP benchmarks, adwsload submits in-process: it
-// measures the admission queue, placement, scheduling, and metric
-// recording — not HTTP framing.
+// In-process modes measure the admission queue, placement, routing,
+// scheduling, and metric recording without HTTP framing; -target drives
+// a live daemon over HTTP and fails fast (rather than miscounting every
+// request as a reject) when the daemon is unreachable.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/parlab/adws"
@@ -33,13 +43,18 @@ import (
 
 func main() {
 	var (
-		workers  = flag.Int("workers", 8, "pool worker count")
+		workers  = flag.Int("workers", 8, "worker count per pool")
 		sched    = flag.String("sched", "adws", "scheduler: ws, adws, mlws, mladws")
 		jobs     = flag.Int("jobs", 64, "total jobs to submit")
-		inflight = flag.Int("inflight", 0, "max concurrently running jobs (0: one per worker)")
+		inflight = flag.Int("inflight", 0, "max concurrently running jobs per pool (0: one per worker)")
 		wlName   = flag.String("workload", "quicksort", strings.Join(workload.JobNames(), ", "))
 		n        = flag.Int("n", 0, "problem size per job (0: the workload's default)")
 		seed     = flag.Uint64("seed", 1, "workload input and victim-selection seed")
+		pools    = flag.Int("pools", 1, "pool count; >1 submits through a routed cluster")
+		policy   = flag.String("policy", adws.RouteAffinity, "cluster routing policy: "+strings.Join(adws.RoutingPolicies(), ", "))
+		keys     = flag.Int("keys", 7, "distinct workload keys in the cluster's repeated stream (keep coprime to -pools)")
+		compare  = flag.String("compare", "", "comma-separated policies to run over an identical stream (emits the point's cluster half)")
+		target   = flag.String("target", "", "base URL of a running adwsd to drive over HTTP instead of in-process")
 		jsonOut  = flag.String("json", "", "write the benchfmt trajectory point here (- for stdout)")
 		simIn    = flag.String("sim", "", "adwsbench -json result to embed as the point's sim half")
 		id       = flag.String("id", "", "trajectory point id (default: derived from -json filename)")
@@ -59,18 +74,43 @@ func main() {
 		}
 	}
 
-	var schedOpt adws.Scheduler
-	switch *sched {
-	case "ws":
-		schedOpt = adws.WorkStealing
-	case "adws":
-		schedOpt = adws.ADWS
-	case "mlws":
-		schedOpt = adws.MultiLevelWS
-	case "mladws":
-		schedOpt = adws.MultiLevelADWS
-	default:
-		fatalf("unknown scheduler %q (want ws, adws, mlws, mladws)", *sched)
+	schedOpt, err := parseScheduler(*sched)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *target != "" {
+		runTarget(*target, *wlName, *n, *jobs, *keys, *seed, *jsonOut, *id, *simIn)
+		return
+	}
+
+	// The cluster half: -compare runs every listed policy (over at least
+	// 2 pools — a routing comparison needs somewhere to route); -pools N
+	// without -compare routes the stream under the single -policy.
+	var clHalf *benchfmt.Cluster
+	if *compare != "" || *pools > 1 {
+		policies := []string{*policy}
+		if *compare != "" {
+			policies = nil
+			for _, p := range strings.Split(*compare, ",") {
+				policies = append(policies, strings.TrimSpace(p))
+			}
+		}
+		npools := *pools
+		if *compare != "" && npools < 2 {
+			npools = 2
+		}
+		clHalf = runCluster(*sched, schedOpt, npools, *workers, *inflight, policies,
+			*keys, *jobs, *wlName, *n, *seed)
+	}
+	// -pools >1 without -compare is purely a cluster run; otherwise the
+	// classic single-pool serve measurement runs (alongside -compare, so
+	// one invocation can emit both halves of a trajectory point).
+	if *pools > 1 && *compare == "" {
+		if *jsonOut != "" {
+			writePoint(*jsonOut, *id, *simIn, nil, clHalf)
+		}
+		return
 	}
 
 	pool, err := adws.NewPool(
@@ -114,8 +154,376 @@ func main() {
 		serve.E2E.P50*1e3, serve.E2E.P99*1e3, serve.QueueWait.P99*1e3)
 
 	if *jsonOut != "" {
-		writePoint(*jsonOut, *id, *simIn, serve)
+		writePoint(*jsonOut, *id, *simIn, serve, clHalf)
 	}
+}
+
+func parseScheduler(name string) (adws.Scheduler, error) {
+	switch name {
+	case "ws":
+		return adws.WorkStealing, nil
+	case "adws":
+		return adws.ADWS, nil
+	case "mlws":
+		return adws.MultiLevelWS, nil
+	case "mladws":
+		return adws.MultiLevelADWS, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want ws, adws, mlws, mladws)", name)
+}
+
+// runCluster drives the same repeated-key stream through a fresh
+// multi-pool cluster once per policy and reports per-pool job counts and
+// warm-hit rates side by side. Each round submits every key concurrently
+// and waits for the round, so repeats of a key arrive after its first
+// run finished — the iterative pattern the affinity policy rewards.
+func runCluster(sched string, schedOpt adws.Scheduler, pools, workers, inflight int,
+	policies []string, keys, jobs int, wlName string, n int, seed uint64) *benchfmt.Cluster {
+	if pools < 1 || keys < 1 {
+		fatalf("cluster mode needs -pools >= 1 and -keys >= 1 (got %d, %d)", pools, keys)
+	}
+	rounds := jobs / keys
+	if rounds < 1 {
+		rounds = 1
+	}
+	total := rounds * keys
+	poolCounts := make([]int, pools)
+	for i := range poolCounts {
+		poolCounts[i] = workers
+	}
+
+	cl := &benchfmt.Cluster{
+		Pools:    poolCounts,
+		Sched:    sched,
+		Workload: wlName,
+		N:        effectiveN(wlName, n, seed),
+		Seed:     seed,
+		Keys:     keys,
+		Rounds:   rounds,
+	}
+	fmt.Printf("adwsload: cluster %d×%d workers (%s), %d keys × %d rounds of %s\n",
+		pools, workers, sched, keys, rounds, wlName)
+	for _, pol := range policies {
+		c, err := adws.NewCluster(poolCounts, pol,
+			adws.WithScheduler(schedOpt),
+			adws.WithSeed(seed),
+			adws.WithAdmission(inflight, total+1),
+		)
+		if err != nil {
+			fatalf("cluster: %v", err)
+		}
+		entry, err := drivePolicy(c, pol, keys, rounds, wlName, n, seed)
+		c.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cl.Policies = append(cl.Policies, entry)
+		fmt.Printf("  %-12s %d jobs in %.3fs — warm %5.1f%% (cold %d, spill %d, moved %d), e2e p50 %.1fms p99 %.1fms, per-pool %v\n",
+			pol, entry.Jobs, entry.ElapsedS, entry.WarmRate*100,
+			entry.Cold, entry.Spill, entry.Moved,
+			entry.E2E.P50*1e3, entry.E2E.P99*1e3, entry.PerPoolJobs)
+	}
+	return cl
+}
+
+// drivePolicy runs the stream on one cluster and summarizes it.
+func drivePolicy(c *adws.Cluster, policy string, keys, rounds int, wlName string, n int, seed uint64) (benchfmt.ClusterPolicy, error) {
+	var (
+		mu      sync.Mutex
+		samples []float64
+		firstE  error
+	)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for k := 0; k < keys; k++ {
+			wj, err := workload.NewJob(wlName, n, seed+uint64(k))
+			if err != nil {
+				return benchfmt.ClusterPolicy{}, fmt.Errorf("workload: %v", err)
+			}
+			key := fmt.Sprintf("k%d", k)
+			submitted := time.Now()
+			j, err := c.Submit(context.Background(), key, wj.Body, wj.Hint())
+			if err != nil {
+				return benchfmt.ClusterPolicy{}, fmt.Errorf("%s: submit round %d key %s: %v", policy, r, key, err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := j.Wait(context.Background())
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstE == nil {
+					firstE = fmt.Errorf("%s: job %d: %v", policy, j.ClusterID(), err)
+				}
+				samples = append(samples, time.Since(submitted).Seconds())
+			}()
+		}
+		wg.Wait()
+		if firstE != nil {
+			return benchfmt.ClusterPolicy{}, firstE
+		}
+	}
+	elapsed := time.Since(start)
+
+	counts := c.RouteCounts()
+	tot := c.Totals()
+	perPool := make([]int64, len(counts))
+	for i, ct := range counts {
+		perPool[i] = ct.Jobs
+	}
+	return benchfmt.ClusterPolicy{
+		Policy:        policy,
+		ElapsedS:      elapsed.Seconds(),
+		JobsPerSecond: float64(tot.Jobs) / elapsed.Seconds(),
+		Jobs:          tot.Jobs,
+		Warm:          tot.Warm,
+		Cold:          tot.Cold,
+		Spill:         tot.Spill,
+		Moved:         tot.Moved,
+		Rejected:      tot.Rejected,
+		WarmRate:      tot.WarmRate(),
+		PerPoolJobs:   perPool,
+		E2E:           summarizeSamples(samples),
+	}, nil
+}
+
+// runTarget drives a running adwsd daemon over HTTP with the same
+// repeated-key stream. Transport failures are fatal with a clear error —
+// an unreachable daemon must not be misread as a 100% reject rate — while
+// 503 fast-rejects from a live daemon are counted as rejects.
+func runTarget(target, wlName string, n, jobs, keys int, seed uint64, jsonOut, id, simIn string) {
+	base := strings.TrimRight(target, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Preflight: the daemon must be answering before the stream starts.
+	hr, err := client.Get(base + "/healthz")
+	if err != nil {
+		fatalf("target %s unreachable: %v — is adwsd running?", base, err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		fatalf("target %s /healthz returned %d, want 200", base, hr.StatusCode)
+	}
+	before, err := fetchPools(client, base)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if keys < 1 {
+		keys = 1
+	}
+	rounds := jobs / keys
+	if rounds < 1 {
+		rounds = 1
+	}
+	type pending struct {
+		id        int64
+		submitted time.Time
+	}
+	var (
+		accepted []pending
+		rejected int64
+	)
+	start := time.Now()
+	for i := 0; i < rounds*keys; i++ {
+		body, _ := json.Marshal(map[string]any{
+			"workload": wlName, "n": n, "seed": seed + uint64(i),
+			"key": fmt.Sprintf("k%d", i%keys),
+		})
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatalf("target %s became unreachable after %d submissions: %v", base, i, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var jr struct {
+				ID int64 `json:"id"`
+			}
+			if err := json.Unmarshal(raw, &jr); err != nil {
+				fatalf("bad POST /jobs response: %v", err)
+			}
+			accepted = append(accepted, pending{id: jr.ID, submitted: time.Now()})
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			fatalf("POST /jobs: status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+	}
+
+	var samples []float64
+	for _, p := range accepted {
+		if err := waitRemote(client, base, p.id); err != nil {
+			fatalf("%v", err)
+		}
+		samples = append(samples, time.Since(p.submitted).Seconds())
+	}
+	elapsed := time.Since(start)
+
+	after, err := fetchPools(client, base)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	entry := diffPools(before, after)
+	entry.ElapsedS = elapsed.Seconds()
+	entry.JobsPerSecond = float64(entry.Jobs) / elapsed.Seconds()
+	entry.E2E = summarizeSamples(samples)
+
+	perPool := entry.PerPoolJobs
+	fmt.Printf("adwsload: %d jobs (%d rejected) against %s (%s, %d pools) in %.3fs — warm %5.1f%%, e2e p50 %.1fms p99 %.1fms, per-pool %v\n",
+		entry.Jobs, rejected, base, after.Policy, len(after.Pools), elapsed.Seconds(),
+		entry.WarmRate*100, entry.E2E.P50*1e3, entry.E2E.P99*1e3, perPool)
+
+	if jsonOut != "" {
+		poolCounts := make([]int, len(after.Pools))
+		sched := "adws"
+		for i, p := range after.Pools {
+			poolCounts[i] = p.Workers
+			sched = p.Scheduler
+		}
+		cl := &benchfmt.Cluster{
+			Pools:    poolCounts,
+			Sched:    sched,
+			Workload: wlName,
+			N:        effectiveN(wlName, n, seed),
+			Seed:     seed,
+			Keys:     keys,
+			Rounds:   rounds,
+			Policies: []benchfmt.ClusterPolicy{entry},
+		}
+		writePoint(jsonOut, id, simIn, nil, cl)
+	}
+}
+
+// poolsResponse mirrors adwsd's GET /pools body.
+type poolsResponse struct {
+	Policy string `json:"policy"`
+	Pools  []struct {
+		Pool      int    `json:"pool"`
+		Workers   int    `json:"workers"`
+		Scheduler string `json:"scheduler"`
+		Routing   struct {
+			Jobs     int64 `json:"jobs"`
+			Warm     int64 `json:"warm"`
+			Cold     int64 `json:"cold"`
+			Spill    int64 `json:"spill"`
+			Moved    int64 `json:"moved"`
+			Rejected int64 `json:"rejected"`
+		} `json:"routing"`
+	} `json:"pools"`
+}
+
+func fetchPools(client *http.Client, base string) (poolsResponse, error) {
+	var pr poolsResponse
+	resp, err := client.Get(base + "/pools")
+	if err != nil {
+		return pr, fmt.Errorf("target %s unreachable: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return pr, fmt.Errorf("GET /pools: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return pr, fmt.Errorf("GET /pools: %v", err)
+	}
+	return pr, nil
+}
+
+// diffPools attributes this run's routing by subtracting the pre-run
+// counters, so a long-lived daemon's history does not pollute the point.
+func diffPools(before, after poolsResponse) benchfmt.ClusterPolicy {
+	entry := benchfmt.ClusterPolicy{Policy: after.Policy}
+	for i, p := range after.Pools {
+		d := p.Routing
+		if i < len(before.Pools) {
+			b := before.Pools[i].Routing
+			d.Jobs -= b.Jobs
+			d.Warm -= b.Warm
+			d.Cold -= b.Cold
+			d.Spill -= b.Spill
+			d.Moved -= b.Moved
+			d.Rejected -= b.Rejected
+		}
+		entry.Jobs += d.Jobs
+		entry.Warm += d.Warm
+		entry.Cold += d.Cold
+		entry.Spill += d.Spill
+		entry.Moved += d.Moved
+		entry.Rejected += d.Rejected
+		entry.PerPoolJobs = append(entry.PerPoolJobs, d.Jobs)
+	}
+	if entry.Jobs > 0 {
+		entry.WarmRate = float64(entry.Warm) / float64(entry.Jobs)
+	}
+	return entry
+}
+
+func waitRemote(client *http.Client, base string, id int64) error {
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+		if err != nil {
+			return fmt.Errorf("target %s became unreachable waiting for job %d: %v", base, id, err)
+		}
+		var jr struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("job %d: bad response: %v", id, err)
+		}
+		switch jr.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %d: state %s: %s", id, jr.State, jr.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("job %d did not finish within 120s", id)
+}
+
+// summarizeSamples computes nearest-rank quantiles over client-observed
+// latency samples, in seconds.
+func summarizeSamples(samples []float64) benchfmt.Quantiles {
+	if len(samples) == 0 {
+		return benchfmt.Quantiles{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		idx := int(p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return benchfmt.Quantiles{
+		Count: int64(len(sorted)),
+		P50:   rank(0.50),
+		P90:   rank(0.90),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// effectiveN resolves the workload's default problem size for reporting.
+func effectiveN(wl string, n int, seed uint64) int {
+	if n != 0 {
+		return n
+	}
+	if wj, err := workload.NewJob(wl, 0, seed); err == nil {
+		return wj.N
+	}
+	return n
 }
 
 // buildServe assembles the serve half of a trajectory point from the
@@ -143,18 +551,12 @@ func buildServe(pool *adws.Pool, handles []*adws.Job, sched, wl string, n int, s
 			canceled++
 		}
 	}
-	nEff := n
-	if nEff == 0 {
-		if wj, err := workload.NewJob(wl, 0, seed); err == nil {
-			nEff = wj.N
-		}
-	}
 	return &benchfmt.Serve{
 		Workers:       pool.NumWorkers(),
 		Sched:         sched,
 		Jobs:          jobs,
 		Workload:      wl,
-		N:             nEff,
+		N:             effectiveN(wl, n, seed),
 		Seed:          seed,
 		ElapsedS:      elapsed.Seconds(),
 		JobsPerSecond: float64(jobs) / elapsed.Seconds(),
@@ -209,12 +611,12 @@ func selfCheck(reg *adws.MetricsRegistry) {
 
 // writePoint assembles and writes the trajectory point, validating it
 // first so a malformed point never lands in the repo.
-func writePoint(path, id, simIn string, serve *benchfmt.Serve) {
+func writePoint(path, id, simIn string, serve *benchfmt.Serve, cl *benchfmt.Cluster) {
 	if id == "" {
 		base := filepath.Base(path)
 		id = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
 	}
-	pt := benchfmt.Point{SchemaVersion: benchfmt.SchemaVersion, ID: id, Serve: serve}
+	pt := benchfmt.Point{SchemaVersion: benchfmt.SchemaVersion, ID: id, Serve: serve, Cluster: cl}
 	if simIn != "" {
 		raw, err := os.ReadFile(simIn)
 		if err != nil {

@@ -35,6 +35,10 @@ type Point struct {
 	Sim json.RawMessage `json:"sim,omitempty"`
 	// Serve carries the real-runtime serving measurement.
 	Serve *Serve `json:"serve,omitempty"`
+	// Cluster carries the multi-pool routing comparison: the same
+	// repeated-key job stream driven through a cluster once per routing
+	// policy.
+	Cluster *Cluster `json:"cluster,omitempty"`
 }
 
 // Serve is the serve-side half of a trajectory point: adwsload drives
@@ -75,6 +79,49 @@ type Serve struct {
 	WakeToRun    Quantiles `json:"wake_to_run"`
 }
 
+// Cluster is the routing-comparison half of a trajectory point: adwsload
+// -compare drives an identical repeated-key stream through a fresh
+// multi-pool cluster under each listed policy, so the policies' warm-hit
+// rates and end-to-end latencies are directly diffable.
+type Cluster struct {
+	// Pools are the per-pool worker counts.
+	Pools    []int  `json:"pools"`
+	Sched    string `json:"sched"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+	// Keys is the distinct workload-key count and Rounds how many times
+	// the stream repeats each key (kept coprime to len(Pools) so
+	// round-robin cannot stripe into accidental warmness).
+	Keys   int `json:"keys"`
+	Rounds int `json:"rounds"`
+
+	Policies []ClusterPolicy `json:"policies"`
+}
+
+// ClusterPolicy is one policy's run over the shared stream.
+type ClusterPolicy struct {
+	Policy        string  `json:"policy"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+
+	// Jobs counts admitted jobs; Warm/Cold/Spill/Moved partition them by
+	// routing verdict, and PerPoolJobs (one entry per pool) by placement.
+	Jobs        int64   `json:"jobs"`
+	Warm        int64   `json:"warm"`
+	Cold        int64   `json:"cold"`
+	Spill       int64   `json:"spill"`
+	Moved       int64   `json:"moved"`
+	Rejected    int64   `json:"rejected"`
+	WarmRate    float64 `json:"warm_rate"`
+	PerPoolJobs []int64 `json:"per_pool_jobs"`
+
+	// E2E is the client-observed submit-to-done latency distribution, in
+	// seconds, computed from per-job samples (not pool histograms, which
+	// would mix pools).
+	E2E Quantiles `json:"e2e"`
+}
+
 // Validate checks the invariants every committed trajectory point must
 // hold; scripts/bench.sh -smoke runs it over all BENCH_*.json in CI.
 func (p *Point) Validate() error {
@@ -84,8 +131,8 @@ func (p *Point) Validate() error {
 	if p.ID == "" {
 		return fmt.Errorf("missing id")
 	}
-	if len(p.Sim) == 0 && p.Serve == nil {
-		return fmt.Errorf("point has neither sim nor serve data")
+	if len(p.Sim) == 0 && p.Serve == nil && p.Cluster == nil {
+		return fmt.Errorf("point has no sim, serve, or cluster data")
 	}
 	if len(p.Sim) > 0 {
 		var sim struct {
@@ -131,6 +178,62 @@ func (p *Point) Validate() error {
 		if s.E2E.Count != s.Jobs64() || s.Service.Count != s.Jobs64() {
 			return fmt.Errorf("serve: e2e count %d / service count %d, want %d jobs",
 				s.E2E.Count, s.Service.Count, s.Jobs)
+		}
+	}
+	if c := p.Cluster; c != nil {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) validate() error {
+	if len(c.Pools) == 0 {
+		return fmt.Errorf("no pools")
+	}
+	for i, w := range c.Pools {
+		if w <= 0 {
+			return fmt.Errorf("pool %d has nonpositive workers %d", i, w)
+		}
+	}
+	if c.Workload == "" || c.Sched == "" {
+		return fmt.Errorf("missing workload or sched")
+	}
+	if c.Keys <= 0 || c.Rounds <= 0 {
+		return fmt.Errorf("nonpositive keys (%d) or rounds (%d)", c.Keys, c.Rounds)
+	}
+	if len(c.Policies) == 0 {
+		return fmt.Errorf("no policies")
+	}
+	for _, pol := range c.Policies {
+		if pol.Policy == "" {
+			return fmt.Errorf("policy with no name")
+		}
+		if pol.ElapsedS <= 0 || pol.Jobs <= 0 {
+			return fmt.Errorf("%s: nonpositive elapsed (%g) or jobs (%d)", pol.Policy, pol.ElapsedS, pol.Jobs)
+		}
+		if got := pol.Warm + pol.Cold + pol.Spill + pol.Moved; got != pol.Jobs {
+			return fmt.Errorf("%s: verdicts sum to %d, want %d jobs", pol.Policy, got, pol.Jobs)
+		}
+		if len(pol.PerPoolJobs) != len(c.Pools) {
+			return fmt.Errorf("%s: %d per-pool counts for %d pools", pol.Policy, len(pol.PerPoolJobs), len(c.Pools))
+		}
+		var sum int64
+		for _, n := range pol.PerPoolJobs {
+			sum += n
+		}
+		if sum != pol.Jobs {
+			return fmt.Errorf("%s: per-pool counts sum to %d, want %d jobs", pol.Policy, sum, pol.Jobs)
+		}
+		if pol.WarmRate < 0 || pol.WarmRate > 1 {
+			return fmt.Errorf("%s: warm_rate %g outside [0, 1]", pol.Policy, pol.WarmRate)
+		}
+		if err := validQuantiles(pol.E2E); err != nil {
+			return fmt.Errorf("%s: e2e: %w", pol.Policy, err)
+		}
+		if pol.E2E.Count != pol.Jobs {
+			return fmt.Errorf("%s: e2e count %d, want %d jobs", pol.Policy, pol.E2E.Count, pol.Jobs)
 		}
 	}
 	return nil

@@ -1,0 +1,58 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func validCluster() *Cluster {
+	return &Cluster{
+		Pools: []int{4, 4}, Sched: "adws", Workload: "fib", N: 20, Seed: 1,
+		Keys: 7, Rounds: 3,
+		Policies: []ClusterPolicy{{
+			Policy: "affinity", ElapsedS: 0.5, JobsPerSecond: 42,
+			Jobs: 21, Warm: 14, Cold: 7, WarmRate: 14.0 / 21,
+			PerPoolJobs: []int64{12, 9},
+			E2E:         Quantiles{Count: 21, P50: 0.001, P90: 0.002, P99: 0.003, Max: 0.004},
+		}},
+	}
+}
+
+func TestClusterPointValidates(t *testing.T) {
+	pt := Point{SchemaVersion: SchemaVersion, ID: "0007", Cluster: validCluster()}
+	if err := pt.Validate(); err != nil {
+		t.Fatalf("valid cluster point rejected: %v", err)
+	}
+}
+
+func TestClusterValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Cluster)
+		want string
+	}{
+		{"no pools", func(c *Cluster) { c.Pools = nil }, "no pools"},
+		{"verdict sum", func(c *Cluster) { c.Policies[0].Warm = 13 }, "verdicts sum"},
+		{"per-pool length", func(c *Cluster) { c.Policies[0].PerPoolJobs = []int64{21} }, "per-pool"},
+		{"per-pool sum", func(c *Cluster) { c.Policies[0].PerPoolJobs = []int64{12, 10} }, "per-pool counts sum"},
+		{"warm rate", func(c *Cluster) { c.Policies[0].WarmRate = 1.5 }, "warm_rate"},
+		{"e2e count", func(c *Cluster) { c.Policies[0].E2E.Count = 20 }, "e2e count"},
+		{"no policies", func(c *Cluster) { c.Policies = nil }, "no policies"},
+	}
+	for _, tc := range cases {
+		c := validCluster()
+		tc.mut(c)
+		pt := Point{SchemaVersion: SchemaVersion, ID: "x", Cluster: c}
+		err := pt.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEmptyPointRejected(t *testing.T) {
+	pt := Point{SchemaVersion: SchemaVersion, ID: "x"}
+	if err := pt.Validate(); err == nil {
+		t.Error("point with no halves validated")
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"strconv"
+
+	"github.com/parlab/adws/internal/metrics"
+)
+
+// RegisterMetrics registers the cluster's routing and load families on
+// reg, labeled per pool and by the active routing policy:
+//
+//	adws_cluster_pools                                   gauge
+//	adws_cluster_workers                                 gauge
+//	adws_cluster_routed_total{pool,policy,verdict}       counter
+//	adws_cluster_rejected_total{pool,policy}             counter
+//	adws_cluster_pool_queued{pool}                       gauge
+//	adws_cluster_pool_running{pool}                      gauge
+//	adws_cluster_pool_workers{pool}                      gauge
+//
+// The verdict label partitions routed jobs into warm (landed on the pool
+// that last ran the job's key), cold (key never seen), spill (diverted
+// off the warm pool for load), and moved (landed elsewhere without a
+// deliberate spill). Registration must finish before the registry's
+// first WriteText; values are read live at render time.
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	policy := c.Policy()
+	reg.GaugeFunc("adws_cluster_pools", "Pools in the cluster.",
+		func() float64 { return float64(c.NumPools()) })
+	reg.GaugeFunc("adws_cluster_workers", "Workers summed over the cluster's pools.",
+		func() float64 { return float64(c.Workers()) })
+	reg.CounterMultiFunc("adws_cluster_routed_total",
+		"Jobs routed and admitted, by pool, policy, and warm/cold verdict.",
+		func() []metrics.MultiLabeled {
+			counts := c.RouteCounts()
+			out := make([]metrics.MultiLabeled, 0, 4*len(counts))
+			for pool, ct := range counts {
+				for _, v := range []struct {
+					verdict Verdict
+					n       int64
+				}{{Warm, ct.Warm}, {Cold, ct.Cold}, {Spill, ct.Spill}, {Moved, ct.Moved}} {
+					out = append(out, metrics.MultiLabeled{
+						Labels: []metrics.Label{
+							{Name: "pool", Value: strconv.Itoa(pool)},
+							{Name: "policy", Value: policy},
+							{Name: "verdict", Value: string(v.verdict)},
+						},
+						Value: float64(v.n),
+					})
+				}
+			}
+			return out
+		})
+	reg.CounterMultiFunc("adws_cluster_rejected_total",
+		"Jobs routed to a pool whose admission then rejected them.",
+		func() []metrics.MultiLabeled {
+			counts := c.RouteCounts()
+			out := make([]metrics.MultiLabeled, len(counts))
+			for pool, ct := range counts {
+				out[pool] = metrics.MultiLabeled{
+					Labels: []metrics.Label{
+						{Name: "pool", Value: strconv.Itoa(pool)},
+						{Name: "policy", Value: policy},
+					},
+					Value: float64(ct.Rejected),
+				}
+			}
+			return out
+		})
+	poolGauge := func(field func(Snapshot) int) func() []metrics.MultiLabeled {
+		return func() []metrics.MultiLabeled {
+			snaps := c.Snapshots()
+			out := make([]metrics.MultiLabeled, len(snaps))
+			for i, s := range snaps {
+				out[i] = metrics.MultiLabeled{
+					Labels: []metrics.Label{{Name: "pool", Value: strconv.Itoa(i)}},
+					Value:  float64(field(s)),
+				}
+			}
+			return out
+		}
+	}
+	reg.GaugeMultiFunc("adws_cluster_pool_queued", "Jobs waiting in each pool's admission queue.",
+		poolGauge(func(s Snapshot) int { return s.Queued }))
+	reg.GaugeMultiFunc("adws_cluster_pool_running", "Jobs running on each pool.",
+		poolGauge(func(s Snapshot) int { return s.Running }))
+	reg.GaugeMultiFunc("adws_cluster_pool_workers", "Each pool's worker count.",
+		poolGauge(func(s Snapshot) int { return s.Workers }))
+}

@@ -70,6 +70,18 @@ type Labeled struct {
 	Value float64
 }
 
+// Label is one name/value pair of a MultiLabeled sample.
+type Label struct {
+	Name, Value string
+}
+
+// MultiLabeled is one sample of a multi-label Func family rendered by
+// CounterMultiFunc or GaugeMultiFunc. Labels are rendered in order.
+type MultiLabeled struct {
+	Labels []Label
+	Value  float64
+}
+
 // entry is one registered family, rendered in registration order.
 type entry struct {
 	name, help string
@@ -83,6 +95,7 @@ type entry struct {
 	gaugeFn     func() float64
 	vecLabel    string
 	counterVecF func() []Labeled
+	multiF      func() []MultiLabeled
 }
 
 // Registry holds registered metric families and renders them as
@@ -175,6 +188,19 @@ func (r *Registry) CounterVecFunc(name, help, label string, fn func() []Labeled)
 	r.register(entry{name: name, help: help, typ: "counter", vecLabel: label, counterVecF: fn})
 }
 
+// CounterMultiFunc registers a multi-label counter family whose samples
+// are read from fn at render time (e.g. per-pool, per-verdict routing
+// totals). Every sample must carry the same label names; label values
+// must make each sample's series unique.
+func (r *Registry) CounterMultiFunc(name, help string, fn func() []MultiLabeled) {
+	r.register(entry{name: name, help: help, typ: "counter", multiF: fn})
+}
+
+// GaugeMultiFunc is CounterMultiFunc's gauge twin.
+func (r *Registry) GaugeMultiFunc(name, help string, fn func() []MultiLabeled) {
+	r.register(entry{name: name, help: help, typ: "gauge", multiF: fn})
+}
+
 // OnRender registers fn to run at the start of every WriteText, before
 // any Func metric is read. Use it to take one coherent snapshot that
 // several Func metrics then share (e.g. a single InFlight() read feeding
@@ -213,6 +239,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case e.counterVecF != nil:
 			for _, s := range e.counterVecF() {
 				fmt.Fprintf(&b, "%s{%s=%q} %s\n", e.name, e.vecLabel, s.Label, formatValue(s.Value))
+			}
+		case e.multiF != nil:
+			for _, s := range e.multiF() {
+				b.WriteString(e.name)
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+				}
+				fmt.Fprintf(&b, "} %s\n", formatValue(s.Value))
 			}
 		case e.hist != nil:
 			writeHistogram(&b, e.name, e.hist.Snapshot())

@@ -42,17 +42,24 @@ var (
 	ErrClosed = errors.New("server: closed")
 )
 
-// Config parameterizes admission control.
+// Config parameterizes admission control and placement.
 type Config struct {
 	// MaxInFlight caps concurrently running jobs (<= 0: the pool's worker
-	// count).
+	// count). Consulted by the default Admitter only.
 	MaxInFlight int
 	// MaxQueue caps the admission queue depth; submissions beyond it are
 	// fast-rejected with ErrOverloaded (<= 0: 4 × MaxInFlight).
+	// Consulted by the default Admitter only.
 	MaxQueue int
 	// RetainDone caps how many terminal jobs the id lookup keeps, oldest
 	// evicted first (<= 0: 1024). In-flight jobs are always retained.
 	RetainDone int
+	// Admitter is the admission policy (nil: BoundedFIFO over the
+	// defaulted MaxInFlight/MaxQueue).
+	Admitter Admitter
+	// Placer is the worker-range placement policy (nil: a fresh
+	// CursorPlacer).
+	Placer Placer
 	// Metrics, if non-nil, receives per-job queue-wait, service, and
 	// end-to-end latencies plus admission reject / deadline-expiry counts
 	// (see Metrics). Nil disables recording at one pointer check per site.
@@ -69,6 +76,12 @@ func (c Config) withDefaults(workers int) Config {
 	if c.RetainDone <= 0 {
 		c.RetainDone = 1024
 	}
+	if c.Admitter == nil {
+		c.Admitter = BoundedFIFO{MaxInFlight: c.MaxInFlight, MaxQueue: c.MaxQueue}
+	}
+	if c.Placer == nil {
+		c.Placer = NewCursorPlacer()
+	}
 	return c
 }
 
@@ -77,9 +90,10 @@ type Counters struct {
 	Submitted, Rejected, Completed, Failed, Canceled int64
 }
 
-// Server serves concurrent jobs on one runtime pool.
+// Server serves concurrent jobs on one Runtime (usually a
+// *runtime.Pool).
 type Server struct {
-	pool *runtime.Pool
+	pool Runtime
 	cfg  Config
 	// metrics is nil unless latency recording was requested.
 	metrics *Metrics
@@ -88,7 +102,6 @@ type Server struct {
 	queue    []*Job
 	running  int
 	workSum  float64 // Σ work hints of running jobs
-	cursor   float64 // rolling placement cursor in [0, 1)
 	idSeq    int64
 	draining bool
 	closed   bool
@@ -101,7 +114,7 @@ type Server struct {
 
 // New creates a job server over pool. The server starts no goroutines
 // until jobs are submitted.
-func New(pool *runtime.Pool, cfg Config) *Server {
+func New(pool Runtime, cfg Config) *Server {
 	if cfg.Metrics != nil {
 		cfg.Metrics.check()
 	}
@@ -135,10 +148,11 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 		return nil, ErrClosed
 	case s.draining:
 		return nil, ErrDraining
-	case len(s.queue) >= s.cfg.MaxQueue:
+	}
+	if err := s.cfg.Admitter.Admit(len(s.queue), s.running); err != nil {
 		s.ctrs.Rejected++
 		s.noteReject()
-		return nil, ErrOverloaded
+		return nil, err
 	}
 
 	var jctx context.Context
@@ -163,7 +177,7 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 	s.ctrs.Submitted++
 	s.retainLocked(j)
 
-	if s.running < s.cfg.MaxInFlight && len(s.queue) == 0 {
+	if s.cfg.Admitter.CanDispatch(s.running) && len(s.queue) == 0 {
 		s.dispatchLocked(j)
 		return j, nil
 	}
@@ -218,31 +232,11 @@ func (s *Server) dispatchLocked(j *Job) {
 	go s.reap(j, work)
 }
 
-// placeLocked divides the worker range among the in-flight jobs the way
-// ADWS divides a group's range among sibling tasks: the new job receives
-// the fraction work / (running work + work), clamped to at least one
-// worker, carved from a rolling cursor (wrapping to 0 when the slice
-// would cross the top). Deterministic in dispatch order.
+// placeLocked delegates the worker-range division to the configured
+// Placer (by default CursorPlacer, the §3.1 hint-proportional division —
+// see iface.go). Caller holds s.mu.
 func (s *Server) placeLocked(work float64) (lo, hi float64) {
-	width := work / (s.workSum + work)
-	if minW := 1 / float64(s.pool.NumWorkers()); width < minW {
-		width = minW
-	}
-	if width > 1 {
-		width = 1
-	}
-	if s.cursor+width > 1 {
-		s.cursor = 0
-	}
-	lo = s.cursor
-	hi = lo + width
-	if hi >= 1 {
-		hi = 1
-		s.cursor = 0
-	} else {
-		s.cursor = hi
-	}
-	return lo, hi
+	return s.cfg.Placer.Place(work, Load{WorkSum: s.workSum, Workers: s.pool.NumWorkers()})
 }
 
 // body wraps the job's fn for the runtime: a sized root task group when
@@ -297,7 +291,7 @@ func (s *Server) reap(j *Job, work float64) {
 	} else {
 		s.completeLocked(j, Done, nil)
 	}
-	for s.running < s.cfg.MaxInFlight && len(s.queue) > 0 {
+	for s.cfg.Admitter.CanDispatch(s.running) && len(s.queue) > 0 {
 		next := s.queue[0]
 		s.queue = s.queue[1:]
 		s.dispatchLocked(next)
@@ -400,6 +394,9 @@ func (s *Server) InFlight() (queued, running int) {
 	defer s.mu.Unlock()
 	return len(s.queue), s.running
 }
+
+// Workers returns the underlying Runtime's worker count.
+func (s *Server) Workers() int { return s.pool.NumWorkers() }
 
 // Counters returns the monotonic admission counters.
 func (s *Server) Counters() Counters {

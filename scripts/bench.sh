@@ -15,6 +15,12 @@
 #      park, steal-attempt, wake-to-run) become the `serve` half.
 #      Machine-dependent: comparable across points only on like
 #      hardware, which is why the sim half exists.
+#   3. The same invocation also drives the routing comparison that
+#      becomes the `cluster` half: an identical 7-key repeated stream
+#      through a 2-pool cluster under affinity and round-robin, so each
+#      point records the warm-hit-rate and e2e-p99 gap between locality
+#      routing and striding. 7 keys on 2 pools is deliberately coprime:
+#      striding can never line repeats up with their warm pool.
 #
 # Smoke mode (-smoke, run by check.sh and CI) never measures: it
 # schema-checks every committed BENCH_*.json via benchfmt.Validate and
@@ -53,9 +59,10 @@ echo "==> reference simulation (adwsbench -figure run)"
 go run ./cmd/adwsbench -figure run -machine twolevel16 -bench quicksort \
     -mode sl-adws -json "$sim"
 
-echo "==> serve measurement (adwsload) -> $out"
+echo "==> serve measurement + cluster routing comparison (adwsload) -> $out"
 go run ./cmd/adwsload -workers 8 -sched adws -jobs 64 -workload quicksort \
-    -seed 1 -sim "$sim" -json "$out" -id "$next"
+    -seed 1 -pools 2 -keys 7 -compare affinity,round-robin \
+    -sim "$sim" -json "$out" -id "$next"
 
 go run ./cmd/adwsload -validate "$out"
 echo "OK: wrote $out"

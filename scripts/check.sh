@@ -10,11 +10,11 @@
 #   3. go build ./...                                everything compiles
 #   4. go test ./...                                 full test suite
 #   5. go test -race internal/runtime + internal/trace + internal/server
-#      + cmd/adwsd
+#      + internal/cluster + cmd/adwsd
 #      The runtime's lock-free deques, the tracer's per-worker ring
-#      buffers, and the job-serving admission path are the places where a
-#      data race would silently corrupt results; the race detector is the
-#      authority on all of them.
+#      buffers, the job-serving admission path, and the cluster's routing
+#      ledger are the places where a data race would silently corrupt
+#      results; the race detector is the authority on all of them.
 #   6. go test -run='^$' -bench=. -benchtime=1x ./...   benchmark smoke
 #      One iteration of every benchmark, so a refactor that breaks a
 #      benchmark harness (or deadlocks the parked-pool submit path) fails
@@ -46,8 +46,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/..."
-go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./cmd/adwsd/...
+echo "==> go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./internal/cluster/... ./cmd/adwsd/..."
+go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... ./internal/cluster/... ./cmd/adwsd/...
 
 echo "==> go test -run='^\$' -bench=. -benchtime=1x ./...   (benchmark smoke)"
 go test -run='^$' -bench=. -benchtime=1x ./...
