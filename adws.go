@@ -119,6 +119,30 @@ var (
 	ErrDraining = server.ErrDraining
 	// ErrPoolClosed rejects submissions after Pool.Close.
 	ErrPoolClosed = server.ErrClosed
+	// ErrRateLimited fast-rejects a submission whose tenant exhausted its
+	// token bucket (SLO admission; see WithTenantRateLimit).
+	ErrRateLimited = server.ErrRateLimited
+	// ErrUnknownClass rejects a submission naming a priority class the
+	// pool was not configured with.
+	ErrUnknownClass = server.ErrUnknownClass
+)
+
+// Admission policies for WithAdmissionPolicy.
+const (
+	// AdmitFIFO dispatches strictly in submission order (default).
+	AdmitFIFO = server.AdmitFIFO
+	// AdmitSLO dispatches by priority class with aging, earliest deadline
+	// first within a class, shortest job (by work hint) as tie-break, and
+	// enforces per-tenant token-bucket rate limits at submit.
+	AdmitSLO = server.AdmitSLO
+)
+
+// Built-in priority class names (highest priority first); the default
+// class for jobs that leave JobHint.Class empty is ClassStandard.
+const (
+	ClassInteractive = server.ClassInteractive
+	ClassStandard    = server.ClassStandard
+	ClassBatch       = server.ClassBatch
 )
 
 // CacheLevel describes one level of a machine's cache hierarchy, from the
@@ -139,6 +163,9 @@ type config struct {
 	traceCap    int
 	maxInFlight int
 	maxQueue    int
+	admission   string
+	tenantRate  float64
+	tenantBurst float64
 	err         error
 }
 
@@ -222,6 +249,32 @@ func WithAdmission(maxInFlight, maxQueue int) Option {
 	}
 }
 
+// WithAdmissionPolicy selects the admission policy: AdmitFIFO (default)
+// or AdmitSLO. Under AdmitSLO, jobs declare a priority class and
+// optional tenant via JobHint; dispatch order is class priority with
+// aging, then earliest deadline, then smallest work hint.
+func WithAdmissionPolicy(policy string) Option {
+	return func(c *config) {
+		switch policy {
+		case AdmitFIFO, AdmitSLO:
+			c.admission = policy
+		default:
+			c.err = fmt.Errorf("adws: unknown admission policy %q", policy)
+		}
+	}
+}
+
+// WithTenantRateLimit bounds each tenant's submit rate under AdmitSLO:
+// tenants accrue rate tokens/second up to burst, one token per admitted
+// job; an empty bucket fast-rejects with ErrRateLimited. rate <= 0
+// disables limiting (the default); burst <= 0 defaults to max(1, rate).
+func WithTenantRateLimit(rate, burst float64) Option {
+	return func(c *config) {
+		c.tenantRate = rate
+		c.tenantBurst = burst
+	}
+}
+
 // Pool is a running worker pool. Create one per process (or per disjoint
 // machine partition), reuse it across computations, and Close it when
 // done.
@@ -259,9 +312,12 @@ func NewPool(opts ...Option) (*Pool, error) {
 		Metrics:    rtm,
 	})
 	srv := server.New(p, server.Config{
-		MaxInFlight: cfg.maxInFlight,
-		MaxQueue:    cfg.maxQueue,
-		Metrics:     server.NewMetrics(reg),
+		MaxInFlight:     cfg.maxInFlight,
+		MaxQueue:        cfg.maxQueue,
+		AdmissionPolicy: cfg.admission,
+		TenantRate:      cfg.tenantRate,
+		TenantBurst:     cfg.tenantBurst,
+		Metrics:         server.NewMetrics(reg, nil),
 	})
 	pool := &Pool{p: p, srv: srv, tracer: tr, reg: reg}
 	registerPoolMetrics(reg, pool)
@@ -320,6 +376,25 @@ func (p *Pool) Stats() Stats { return p.p.Stats() }
 
 // Counters returns the pool's monotonic admission counters.
 func (p *Pool) Counters() Counters { return p.srv.Counters() }
+
+// AdmissionPolicy returns the pool's effective admission policy
+// (AdmitFIFO or AdmitSLO).
+func (p *Pool) AdmissionPolicy() string { return p.srv.Config().AdmissionPolicy }
+
+// Classes returns the pool's priority-class list, highest priority
+// first.
+func (p *Pool) Classes() []string { return p.srv.Classes() }
+
+// ClassCounters returns per-priority-class admission counters.
+func (p *Pool) ClassCounters() map[string]Counters { return p.srv.ClassCounters() }
+
+// QueuedByClass returns the live admission-queue depth per class.
+func (p *Pool) QueuedByClass() map[string]int { return p.srv.QueuedByClass() }
+
+// JainByClass returns the Jain fairness index over per-tenant mean
+// end-to-end latency within each class (1 = perfectly fair; classes
+// without completed jobs are omitted).
+func (p *Pool) JainByClass() map[string]float64 { return p.srv.JainByClass() }
 
 // Tracer returns the pool's event tracer, or nil unless WithTracing was
 // given. Read it (Events, Summarize, WriteChromeTrace) only while no Run

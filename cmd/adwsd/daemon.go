@@ -31,8 +31,15 @@ type jobRequest struct {
 	Work float64 `json:"work,omitempty"`
 	Size int64   `json:"size,omitempty"`
 	// DeadlineMS, when positive, cancels the job if it is still queued
-	// this many milliseconds after submission.
+	// this many milliseconds after submission. A deadline already past at
+	// submit is rejected synchronously with 400.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Class names the job's priority class under -admission=slo (empty:
+	// the pool's default class). Unknown classes are rejected with 400.
+	Class string `json:"class,omitempty"`
+	// Tenant identifies the submitter for per-tenant rate limiting and
+	// fairness accounting; empty means the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // jobResponse describes one job in GET /jobs[/{id}] and POST /jobs. ID
@@ -42,6 +49,8 @@ type jobResponse struct {
 	ID       int64   `json:"id"`
 	Workload string  `json:"workload"`
 	Key      string  `json:"key,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	Tenant   string  `json:"tenant,omitempty"`
 	Pool     int     `json:"pool"`
 	Verdict  string  `json:"verdict"`
 	State    string  `json:"state"`
@@ -55,15 +64,20 @@ type jobResponse struct {
 	Migrs    int64   `json:"migrations"`
 }
 
-// poolResponse is one pool's entry in GET /pools.
+// poolResponse is one pool's entry in GET /pools. The per-class maps are
+// keyed by priority class name; Fairness holds the Jain index over
+// per-tenant mean e2e latency and omits classes with no completed jobs.
 type poolResponse struct {
-	Pool      int          `json:"pool"`
-	Workers   int          `json:"workers"`
-	Scheduler string       `json:"scheduler"`
-	Queued    int          `json:"queued"`
-	Running   int          `json:"running"`
-	Admission countersJSON `json:"admission"`
-	Routing   routingJSON  `json:"routing"`
+	Pool          int                     `json:"pool"`
+	Workers       int                     `json:"workers"`
+	Scheduler     string                  `json:"scheduler"`
+	Queued        int                     `json:"queued"`
+	Running       int                     `json:"running"`
+	Admission     countersJSON            `json:"admission"`
+	QueuedByClass map[string]int          `json:"queued_by_class"`
+	Classes       map[string]countersJSON `json:"classes"`
+	Fairness      map[string]float64      `json:"fairness_jain,omitempty"`
+	Routing       routingJSON             `json:"routing"`
 }
 
 type countersJSON struct {
@@ -75,13 +89,14 @@ type countersJSON struct {
 }
 
 type routingJSON struct {
-	Jobs     int64   `json:"jobs"`
-	Warm     int64   `json:"warm"`
-	Cold     int64   `json:"cold"`
-	Spill    int64   `json:"spill"`
-	Moved    int64   `json:"moved"`
-	Rejected int64   `json:"rejected"`
-	WarmRate float64 `json:"warm_rate"`
+	Jobs     int64            `json:"jobs"`
+	Warm     int64            `json:"warm"`
+	Cold     int64            `json:"cold"`
+	Spill    int64            `json:"spill"`
+	Moved    int64            `json:"moved"`
+	Rejected int64            `json:"rejected"`
+	WarmRate float64          `json:"warm_rate"`
+	Classes  map[string]int64 `json:"classes,omitempty"`
 }
 
 // builder constructs a named workload; the daemon's registry maps
@@ -166,6 +181,8 @@ func (d *daemon) postJob(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		hint.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
+	hint.Class = req.Class
+	hint.Tenant = req.Tenant
 	key := req.Key
 	if key == "" {
 		key = fmt.Sprintf("%s/%d", wj.Name, wj.N)
@@ -174,9 +191,14 @@ func (d *daemon) postJob(w http.ResponseWriter, r *http.Request) {
 	j, err := d.cluster.Submit(context.Background(), key, func(c *adws.Ctx) error { return body(c) }, hint)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, adws.ErrOverloaded) || errors.Is(err, adws.ErrDraining) ||
-			errors.Is(err, adws.ErrPoolClosed) {
+		switch {
+		case errors.Is(err, adws.ErrOverloaded) || errors.Is(err, adws.ErrDraining) ||
+			errors.Is(err, adws.ErrPoolClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, adws.ErrRateLimited):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, adws.ErrUnknownClass) || errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusBadRequest
 		}
 		httpError(w, status, err)
 		return
@@ -220,6 +242,16 @@ func (d *daemon) listPools(w http.ResponseWriter, r *http.Request) {
 		queued, running := p.InFlight()
 		ctr := p.Counters()
 		rc := counts[i]
+		classes := make(map[string]countersJSON)
+		for cl, cc := range p.ClassCounters() {
+			classes[cl] = countersJSON{
+				Submitted: cc.Submitted,
+				Rejected:  cc.Rejected,
+				Completed: cc.Completed,
+				Failed:    cc.Failed,
+				Canceled:  cc.Canceled,
+			}
+		}
 		pools[i] = poolResponse{
 			Pool:      i,
 			Workers:   p.NumWorkers(),
@@ -233,10 +265,13 @@ func (d *daemon) listPools(w http.ResponseWriter, r *http.Request) {
 				Failed:    ctr.Failed,
 				Canceled:  ctr.Canceled,
 			},
+			QueuedByClass: p.QueuedByClass(),
+			Classes:       classes,
+			Fairness:      p.JainByClass(),
 			Routing: routingJSON{
 				Jobs: rc.Jobs, Warm: rc.Warm, Cold: rc.Cold,
 				Spill: rc.Spill, Moved: rc.Moved, Rejected: rc.Rejected,
-				WarmRate: rc.WarmRate(),
+				WarmRate: rc.WarmRate(), Classes: rc.Classes,
 			},
 		}
 	}
@@ -251,9 +286,12 @@ func (d *daemon) describe(j *adws.ClusterJob) jobResponse {
 	d.mu.Lock()
 	name := d.names[j.ClusterID()]
 	d.mu.Unlock()
+	h := j.Hint()
 	resp := jobResponse{
 		ID:       j.ClusterID(),
 		Workload: name,
+		Class:    h.Class,
+		Tenant:   h.Tenant,
 		Pool:     j.Pool(),
 		Verdict:  string(j.Verdict()),
 		State:    j.State().String(),
@@ -278,6 +316,7 @@ func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":  time.Since(d.start).Seconds(),
 		"pools":     d.cluster.NumPools(),
 		"policy":    d.cluster.Policy(),
+		"admission": d.cluster.Pool(0).AdmissionPolicy(),
 		"workers":   d.cluster.Workers(),
 		"scheduler": d.cluster.Pool(0).Scheduler().String(),
 		"queued":    queued,

@@ -599,3 +599,96 @@ func getBody(t *testing.T, url string) string {
 	}
 	return string(raw)
 }
+
+// TestDaemonSLOAdmission drives the SLO admission surface over HTTP: a
+// pool started with the slo policy and a tight per-tenant rate limit
+// must echo the normalized class and tenant on POST /jobs, reject
+// unknown classes with 400, rate-limit a tenant's second burst-exceeding
+// submission with 429 while leaving other tenants unaffected, and expose
+// the per-class breakdown on /pools and the policy on /healthz.
+func TestDaemonSLOAdmission(t *testing.T) {
+	pool, err := adws.NewPool(
+		adws.WithWorkers(2),
+		adws.WithAdmissionPolicy(adws.AdmitSLO),
+		adws.WithTenantRateLimit(0.001, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	c, err := adws.ClusterOf(adws.RouteRoundRobin, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newDaemon(c, false).handler())
+	defer ts.Close()
+
+	code, jr := postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20, "class": "interactive", "tenant": "a"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("interactive submit: status %d, want 202", code)
+	}
+	if jr.Class != adws.ClassInteractive || jr.Tenant != "a" {
+		t.Fatalf("response class=%q tenant=%q, want interactive/a", jr.Class, jr.Tenant)
+	}
+	// Empty class normalizes to the pool's default.
+	code, jr = postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20, "tenant": "b"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("default-class submit: status %d, want 202", code)
+	}
+	if jr.Class != adws.ClassStandard {
+		t.Fatalf("default class = %q, want %q", jr.Class, adws.ClassStandard)
+	}
+	if code, _ := postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20, "class": "no-such"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown class: status %d, want 400", code)
+	}
+	// Tenant "a" spent its single burst token; tenant "c" still has one.
+	if code, _ = postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20, "tenant": "a"}`); code != http.StatusTooManyRequests {
+		t.Errorf("rate-limited tenant: status %d, want 429", code)
+	}
+	if code, _ = postJSON(t, ts.URL+"/jobs", `{"workload": "fib", "n": 20, "class": "batch", "tenant": "c"}`); code != http.StatusAccepted {
+		t.Errorf("fresh tenant: status %d, want 202", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var health map[string]any
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["admission"] != adws.AdmitSLO {
+		t.Errorf("healthz admission = %v, want %q", health["admission"], adws.AdmitSLO)
+	}
+
+	var poolsResp struct {
+		Pools []poolResponse `json:"pools"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/pools")), &poolsResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(poolsResp.Pools) != 1 {
+		t.Fatalf("pools = %d, want 1", len(poolsResp.Pools))
+	}
+	p := poolsResp.Pools[0]
+	if got := p.Classes[adws.ClassInteractive].Submitted; got != 1 {
+		t.Errorf("interactive submitted = %d, want 1", got)
+	}
+	if got := p.Classes[adws.ClassStandard].Submitted; got != 1 {
+		t.Errorf("standard submitted = %d, want 1", got)
+	}
+	if got := p.Classes[adws.ClassBatch].Submitted; got != 1 {
+		t.Errorf("batch submitted = %d, want 1", got)
+	}
+	if got := p.Classes[adws.ClassStandard].Rejected; got != 1 {
+		t.Errorf("standard rejected = %d, want 1 (rate-limited tenant a)", got)
+	}
+	if len(p.QueuedByClass) != 3 {
+		t.Errorf("queued_by_class has %d classes, want 3", len(p.QueuedByClass))
+	}
+	if got := p.Routing.Classes[adws.ClassInteractive]; got != 1 {
+		t.Errorf("routing ledger interactive = %d, want 1", got)
+	}
+}

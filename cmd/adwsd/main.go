@@ -45,6 +45,9 @@ func main() {
 		poolWorkers  = flag.String("poolworkers", "", "comma-separated per-pool worker counts, overrides -pools/-workers (e.g. 4,4,8)")
 		maxInFlight  = flag.Int("maxinflight", 0, "max concurrently running jobs per pool (0: one per worker)")
 		maxQueue     = flag.Int("maxqueue", 0, "admission queue depth per pool (0: 4x maxinflight)")
+		admission    = flag.String("admission", adws.AdmitFIFO, "admission policy per pool: fifo, slo")
+		tenantRate   = flag.Float64("tenantrate", 0, "per-tenant submit rate in jobs/s under -admission=slo (0: unlimited)")
+		tenantBurst  = flag.Float64("tenantburst", 0, "per-tenant token-bucket burst (0: max(1, rate))")
 		seed         = flag.Uint64("seed", 1, "victim-selection seed")
 		traceCap     = flag.Int("trace", 0, "enable per-pool tracing with this per-worker ring capacity (0: off)")
 		traceMetrics = flag.Bool("tracemetrics", false, "expose trace-derived metrics on pool scrapes when idle (requires -trace)")
@@ -64,6 +67,8 @@ func main() {
 		adws.WithScheduler(sched),
 		adws.WithSeed(*seed),
 		adws.WithAdmission(*maxInFlight, *maxQueue),
+		adws.WithAdmissionPolicy(*admission),
+		adws.WithTenantRateLimit(*tenantRate, *tenantBurst),
 	}
 	if *traceCap > 0 {
 		opts = append(opts, adws.WithTracing(*traceCap))
@@ -80,8 +85,9 @@ func main() {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	log.Printf("adwsd: serving on http://%s (%s, %d pools, %d workers, policy %s)",
-		*addr, cluster.Pool(0).Scheduler(), cluster.NumPools(), cluster.Workers(), cluster.Policy())
+	log.Printf("adwsd: serving on http://%s (%s, %d pools, %d workers, policy %s, admission %s)",
+		*addr, cluster.Pool(0).Scheduler(), cluster.NumPools(), cluster.Workers(),
+		cluster.Policy(), cluster.Pool(0).AdmissionPolicy())
 
 	select {
 	case sig := <-stop:

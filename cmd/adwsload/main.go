@@ -54,6 +54,10 @@ func main() {
 		policy   = flag.String("policy", adws.RouteAffinity, "cluster routing policy: "+strings.Join(adws.RoutingPolicies(), ", "))
 		keys     = flag.Int("keys", 7, "distinct workload keys in the cluster's repeated stream (keep coprime to -pools)")
 		compare  = flag.String("compare", "", "comma-separated policies to run over an identical stream (emits the point's cluster half)")
+		admCmp   = flag.String("admcompare", "", "comma-separated admission policies (fifo,slo) to run over identical class cohorts (emits the point's admission half)")
+		cohorts  = flag.String("cohorts", "batch:40:200000,interactive:24:20000", "class:jobs:n cohorts for -admcompare, submitted in order (batch first builds the backlog)")
+		tenants  = flag.Int("tenants", 2, "synthetic tenants the -admcompare cohorts round-robin across")
+		admInfl  = flag.Int("adminflight", 1, "max concurrently running jobs in the -admcompare runs (1 serializes dispatch so admission order is visible in e2e, not just queue-wait)")
 		target   = flag.String("target", "", "base URL of a running adwsd to drive over HTTP instead of in-process")
 		jsonOut  = flag.String("json", "", "write the benchfmt trajectory point here (- for stdout)")
 		simIn    = flag.String("sim", "", "adwsbench -json result to embed as the point's sim half")
@@ -71,6 +75,10 @@ func main() {
 		*workers, *jobs, *n = 4, 8, 20_000
 		if *wlName == "" {
 			*wlName = "quicksort"
+		}
+		if *admCmp == "" {
+			*admCmp = adws.AdmitFIFO + "," + adws.AdmitSLO
+			*cohorts = "batch:4:20000,interactive:3:5000"
 		}
 	}
 
@@ -103,12 +111,24 @@ func main() {
 		clHalf = runCluster(*sched, schedOpt, npools, *workers, *inflight, policies,
 			*keys, *jobs, *wlName, *n, *seed)
 	}
+	// The admission half: -admcompare runs every listed admission policy
+	// over identical class cohorts through a fresh single pool.
+	var admHalf *benchfmt.Admission
+	if *admCmp != "" {
+		var admPolicies []string
+		for _, p := range strings.Split(*admCmp, ",") {
+			admPolicies = append(admPolicies, strings.TrimSpace(p))
+		}
+		admHalf = runAdmission(*sched, schedOpt, *workers, *admInfl, admPolicies,
+			parseCohorts(*cohorts), *tenants, *wlName, *seed)
+	}
 	// -pools >1 without -compare is purely a cluster run; otherwise the
-	// classic single-pool serve measurement runs (alongside -compare, so
-	// one invocation can emit both halves of a trajectory point).
+	// classic single-pool serve measurement runs (alongside -compare and
+	// -admcompare, so one invocation can emit several halves of a
+	// trajectory point).
 	if *pools > 1 && *compare == "" {
 		if *jsonOut != "" {
-			writePoint(*jsonOut, *id, *simIn, nil, clHalf)
+			writePoint(*jsonOut, *id, *simIn, nil, clHalf, admHalf)
 		}
 		return
 	}
@@ -154,7 +174,7 @@ func main() {
 		serve.E2E.P50*1e3, serve.E2E.P99*1e3, serve.QueueWait.P99*1e3)
 
 	if *jsonOut != "" {
-		writePoint(*jsonOut, *id, *simIn, serve, clHalf)
+		writePoint(*jsonOut, *id, *simIn, serve, clHalf, admHalf)
 	}
 }
 
@@ -288,6 +308,170 @@ func drivePolicy(c *adws.Cluster, policy string, keys, rounds int, wlName string
 	}, nil
 }
 
+// parseCohorts parses the -cohorts list: comma-separated class:jobs:n
+// triples, kept in submission order.
+func parseCohorts(spec string) []benchfmt.AdmissionCohort {
+	var out []benchfmt.AdmissionCohort
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			fatalf("bad -cohorts entry %q (want class:jobs:n)", part)
+		}
+		var co benchfmt.AdmissionCohort
+		co.Class = fields[0]
+		if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &co.Jobs, &co.N); err != nil ||
+			co.Class == "" || co.Jobs < 1 || co.N < 1 {
+			fatalf("bad -cohorts entry %q (want class:jobs:n with positive counts)", part)
+		}
+		out = append(out, co)
+	}
+	if len(out) == 0 {
+		fatalf("-admcompare needs at least one cohort")
+	}
+	return out
+}
+
+// runAdmission drives identical class cohorts through a fresh pool once
+// per admission policy. Cohorts are submitted in listed order with no
+// deadlines or tenant rate limits, so the default batch-first stream
+// piles a large backlog into the queue before the interactive cohort
+// arrives — under FIFO the interactive jobs wait out the backlog, under
+// SLO the admitter dispatches them first. Dispatch is serialized by
+// default (-adminflight 1), so each job gets the whole pool and the
+// admission order translates directly into e2e latency rather than
+// being washed out by inter-job worker contention. Every job must
+// complete; per-class e2e is client-observed and queue-wait comes from
+// per-job server stats, so the two policies are compared on identical
+// instrumentation.
+func runAdmission(sched string, schedOpt adws.Scheduler, workers, inflight int,
+	policies []string, cohorts []benchfmt.AdmissionCohort, tenants int,
+	wlName string, seed uint64) *benchfmt.Admission {
+	if tenants < 1 {
+		tenants = 1
+	}
+	total := 0
+	for _, co := range cohorts {
+		total += co.Jobs
+	}
+	adm := &benchfmt.Admission{
+		Workers:  workers,
+		Sched:    sched,
+		Workload: wlName,
+		Seed:     seed,
+		Tenants:  tenants,
+		Cohorts:  cohorts,
+	}
+	fmt.Printf("adwsload: admission comparison on %d workers (%s), cohorts %s, %d tenants\n",
+		workers, sched, describeCohorts(cohorts), tenants)
+	for _, pol := range policies {
+		pool, err := adws.NewPool(
+			adws.WithWorkers(workers),
+			adws.WithScheduler(schedOpt),
+			adws.WithSeed(seed),
+			adws.WithAdmission(inflight, total+1),
+			adws.WithAdmissionPolicy(pol),
+		)
+		if err != nil {
+			fatalf("admission pool (%s): %v", pol, err)
+		}
+		entry, err := driveAdmission(pool, pol, cohorts, tenants, wlName, seed)
+		pool.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		adm.Policies = append(adm.Policies, entry)
+		for _, cl := range entry.Classes {
+			fmt.Printf("  %-5s %-12s %3d jobs — e2e p50 %7.1fms p99 %7.1fms, queue-wait p99 %7.1fms, jain %.3f\n",
+				pol, cl.Class, cl.Jobs, cl.E2E.P50*1e3, cl.E2E.P99*1e3, cl.QueueWait.P99*1e3, cl.Jain)
+		}
+	}
+	return adm
+}
+
+// driveAdmission runs the cohorts on one pool and summarizes per class.
+func driveAdmission(pool *adws.Pool, policy string, cohorts []benchfmt.AdmissionCohort,
+	tenants int, wlName string, seed uint64) (benchfmt.AdmissionPolicy, error) {
+	var (
+		mu     sync.Mutex
+		e2e    = make(map[string][]float64)
+		wait   = make(map[string][]float64)
+		firstE error
+		wg     sync.WaitGroup
+	)
+	total := 0
+	start := time.Now()
+	for _, co := range cohorts {
+		co := co
+		for k := 0; k < co.Jobs; k++ {
+			wj, err := workload.NewJob(wlName, co.N, seed+uint64(total))
+			if err != nil {
+				return benchfmt.AdmissionPolicy{}, fmt.Errorf("workload: %v", err)
+			}
+			h := wj.Hint()
+			h.Class = co.Class
+			h.Tenant = fmt.Sprintf("t%d", total%tenants)
+			submitted := time.Now()
+			j, err := pool.Submit(context.Background(), wj.Body, h)
+			if err != nil {
+				return benchfmt.AdmissionPolicy{}, fmt.Errorf("%s: submit %s job %d: %v", policy, co.Class, k, err)
+			}
+			total++
+			wg.Add(1)
+			// Sample e2e at the job's own completion, not when some
+			// later sequential wait happens to reach it.
+			go func() {
+				defer wg.Done()
+				err := j.Wait(context.Background())
+				elapsed := time.Since(submitted).Seconds()
+				st := j.Stats()
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstE == nil {
+					firstE = fmt.Errorf("%s: %s job %d: %v", policy, co.Class, j.ID(), err)
+				}
+				e2e[co.Class] = append(e2e[co.Class], elapsed)
+				wait[co.Class] = append(wait[co.Class], float64(st.Queued)/1e9)
+			}()
+		}
+	}
+	wg.Wait()
+	if firstE != nil {
+		return benchfmt.AdmissionPolicy{}, firstE
+	}
+	elapsed := time.Since(start)
+
+	jain := pool.JainByClass()
+	entry := benchfmt.AdmissionPolicy{
+		Policy:        policy,
+		ElapsedS:      elapsed.Seconds(),
+		JobsPerSecond: float64(total) / elapsed.Seconds(),
+		Jobs:          int64(total),
+	}
+	seen := make(map[string]bool)
+	for _, co := range cohorts {
+		if seen[co.Class] {
+			continue
+		}
+		seen[co.Class] = true
+		entry.Classes = append(entry.Classes, benchfmt.AdmissionClass{
+			Class:     co.Class,
+			Jobs:      int64(len(e2e[co.Class])),
+			E2E:       summarizeSamples(e2e[co.Class]),
+			QueueWait: summarizeSamples(wait[co.Class]),
+			Jain:      jain[co.Class],
+		})
+	}
+	return entry, nil
+}
+
+func describeCohorts(cohorts []benchfmt.AdmissionCohort) string {
+	parts := make([]string, len(cohorts))
+	for i, co := range cohorts {
+		parts[i] = fmt.Sprintf("%s:%d:%d", co.Class, co.Jobs, co.N)
+	}
+	return strings.Join(parts, ",")
+}
+
 // runTarget drives a running adwsd daemon over HTTP with the same
 // repeated-key stream. Transport failures are fatal with a clear error —
 // an unreachable daemon must not be misread as a 100% reject rate — while
@@ -347,7 +531,9 @@ func runTarget(target, wlName string, n, jobs, keys int, seed uint64, jsonOut, i
 				fatalf("bad POST /jobs response: %v", err)
 			}
 			accepted = append(accepted, pending{id: jr.ID, submitted: time.Now()})
-		case http.StatusServiceUnavailable:
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Overload and per-tenant rate-limit fast-rejects are expected
+			// answers from a live daemon, not transport failures.
 			rejected++
 		default:
 			fatalf("POST /jobs: status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
@@ -394,7 +580,7 @@ func runTarget(target, wlName string, n, jobs, keys int, seed uint64, jsonOut, i
 			Rounds:   rounds,
 			Policies: []benchfmt.ClusterPolicy{entry},
 		}
-		writePoint(jsonOut, id, simIn, nil, cl)
+		writePoint(jsonOut, id, simIn, nil, cl, nil)
 	}
 }
 
@@ -611,12 +797,12 @@ func selfCheck(reg *adws.MetricsRegistry) {
 
 // writePoint assembles and writes the trajectory point, validating it
 // first so a malformed point never lands in the repo.
-func writePoint(path, id, simIn string, serve *benchfmt.Serve, cl *benchfmt.Cluster) {
+func writePoint(path, id, simIn string, serve *benchfmt.Serve, cl *benchfmt.Cluster, adm *benchfmt.Admission) {
 	if id == "" {
 		base := filepath.Base(path)
 		id = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
 	}
-	pt := benchfmt.Point{SchemaVersion: benchfmt.SchemaVersion, ID: id, Serve: serve, Cluster: cl}
+	pt := benchfmt.Point{SchemaVersion: benchfmt.SchemaVersion, ID: id, Serve: serve, Cluster: cl, Admission: adm}
 	if simIn != "" {
 		raw, err := os.ReadFile(simIn)
 		if err != nil {

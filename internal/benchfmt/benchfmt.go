@@ -39,6 +39,10 @@ type Point struct {
 	// repeated-key job stream driven through a cluster once per routing
 	// policy.
 	Cluster *Cluster `json:"cluster,omitempty"`
+	// Admission carries the FIFO-vs-SLO admission comparison: the same
+	// class cohorts driven through a fresh pool once per admission
+	// policy.
+	Admission *Admission `json:"admission,omitempty"`
 }
 
 // Serve is the serve-side half of a trajectory point: adwsload drives
@@ -122,6 +126,59 @@ type ClusterPolicy struct {
 	E2E Quantiles `json:"e2e"`
 }
 
+// Admission is the admission-policy comparison half of a trajectory
+// point: adwsload -admcompare drives identical per-class cohorts (a
+// large batch backlog submitted ahead of a small interactive cohort)
+// through a fresh single pool once per admission policy, so FIFO and
+// SLO ordering are directly diffable on per-class latency under the
+// same contention.
+type Admission struct {
+	Workers  int    `json:"workers"`
+	Sched    string `json:"sched"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	// Tenants is how many synthetic tenants the cohorts' jobs round-robin
+	// across (for the per-class Jain fairness index).
+	Tenants int `json:"tenants"`
+	// Cohorts describes the shared stream, in submission order: Jobs
+	// submissions of the workload at size N under class Class.
+	Cohorts []AdmissionCohort `json:"cohorts"`
+
+	Policies []AdmissionPolicy `json:"policies"`
+}
+
+// AdmissionCohort is one class's slice of the shared stream.
+type AdmissionCohort struct {
+	Class string `json:"class"`
+	Jobs  int    `json:"jobs"`
+	N     int    `json:"n"`
+}
+
+// AdmissionPolicy is one admission policy's run over the shared stream.
+type AdmissionPolicy struct {
+	Policy        string  `json:"policy"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+	// Jobs counts completed jobs (the comparison submits no deadlines and
+	// no rate limits, so every cohort job must complete).
+	Jobs int64 `json:"jobs"`
+
+	Classes []AdmissionClass `json:"classes"`
+}
+
+// AdmissionClass is one class's latency summary under one policy.
+type AdmissionClass struct {
+	Class string `json:"class"`
+	Jobs  int64  `json:"jobs"`
+	// E2E is the client-observed submit-to-done distribution and
+	// QueueWait the server-recorded admission-queue wait, in seconds.
+	E2E       Quantiles `json:"e2e"`
+	QueueWait Quantiles `json:"queue_wait"`
+	// Jain is the Jain fairness index over per-tenant mean e2e latency
+	// within the class (1 = perfectly fair), 0 if not computed.
+	Jain float64 `json:"jain,omitempty"`
+}
+
 // Validate checks the invariants every committed trajectory point must
 // hold; scripts/bench.sh -smoke runs it over all BENCH_*.json in CI.
 func (p *Point) Validate() error {
@@ -131,8 +188,8 @@ func (p *Point) Validate() error {
 	if p.ID == "" {
 		return fmt.Errorf("missing id")
 	}
-	if len(p.Sim) == 0 && p.Serve == nil && p.Cluster == nil {
-		return fmt.Errorf("point has no sim, serve, or cluster data")
+	if len(p.Sim) == 0 && p.Serve == nil && p.Cluster == nil && p.Admission == nil {
+		return fmt.Errorf("point has no sim, serve, cluster, or admission data")
 	}
 	if len(p.Sim) > 0 {
 		var sim struct {
@@ -183,6 +240,80 @@ func (p *Point) Validate() error {
 	if c := p.Cluster; c != nil {
 		if err := c.validate(); err != nil {
 			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	if a := p.Admission; a != nil {
+		if err := a.validate(); err != nil {
+			return fmt.Errorf("admission: %w", err)
+		}
+	}
+	return nil
+}
+
+func (a *Admission) validate() error {
+	if a.Workers <= 0 {
+		return fmt.Errorf("nonpositive workers %d", a.Workers)
+	}
+	if a.Workload == "" || a.Sched == "" {
+		return fmt.Errorf("missing workload or sched")
+	}
+	if a.Tenants <= 0 {
+		return fmt.Errorf("nonpositive tenants %d", a.Tenants)
+	}
+	if len(a.Cohorts) == 0 {
+		return fmt.Errorf("no cohorts")
+	}
+	var total int64
+	cohortJobs := make(map[string]int64)
+	for _, co := range a.Cohorts {
+		if co.Class == "" {
+			return fmt.Errorf("cohort with no class")
+		}
+		if co.Jobs <= 0 || co.N <= 0 {
+			return fmt.Errorf("cohort %s: nonpositive jobs (%d) or n (%d)", co.Class, co.Jobs, co.N)
+		}
+		total += int64(co.Jobs)
+		cohortJobs[co.Class] += int64(co.Jobs)
+	}
+	if len(a.Policies) == 0 {
+		return fmt.Errorf("no policies")
+	}
+	for _, pol := range a.Policies {
+		if pol.Policy == "" {
+			return fmt.Errorf("policy with no name")
+		}
+		if pol.ElapsedS <= 0 {
+			return fmt.Errorf("%s: nonpositive elapsed %g", pol.Policy, pol.ElapsedS)
+		}
+		if pol.Jobs != total {
+			return fmt.Errorf("%s: %d jobs, want the cohorts' %d", pol.Policy, pol.Jobs, total)
+		}
+		var sum int64
+		for _, cl := range pol.Classes {
+			if cl.Class == "" {
+				return fmt.Errorf("%s: class summary with no name", pol.Policy)
+			}
+			if want, ok := cohortJobs[cl.Class]; ok && cl.Jobs != want {
+				return fmt.Errorf("%s: class %s has %d jobs, want the cohorts' %d",
+					pol.Policy, cl.Class, cl.Jobs, want)
+			}
+			sum += cl.Jobs
+			if err := validQuantiles(cl.E2E); err != nil {
+				return fmt.Errorf("%s: class %s: e2e: %w", pol.Policy, cl.Class, err)
+			}
+			if err := validQuantiles(cl.QueueWait); err != nil {
+				return fmt.Errorf("%s: class %s: queue_wait: %w", pol.Policy, cl.Class, err)
+			}
+			if cl.E2E.Count != cl.Jobs {
+				return fmt.Errorf("%s: class %s: e2e count %d, want %d jobs",
+					pol.Policy, cl.Class, cl.E2E.Count, cl.Jobs)
+			}
+			if cl.Jain < 0 || cl.Jain > 1 {
+				return fmt.Errorf("%s: class %s: jain %g outside [0, 1]", pol.Policy, cl.Class, cl.Jain)
+			}
+		}
+		if sum != total {
+			return fmt.Errorf("%s: class jobs sum to %d, want %d", pol.Policy, sum, total)
 		}
 	}
 	return nil

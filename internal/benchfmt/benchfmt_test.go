@@ -56,3 +56,68 @@ func TestEmptyPointRejected(t *testing.T) {
 		t.Error("point with no halves validated")
 	}
 }
+
+func validAdmission() *Admission {
+	return &Admission{
+		Workers: 8, Sched: "adws", Workload: "quicksort", Seed: 1, Tenants: 2,
+		Cohorts: []AdmissionCohort{
+			{Class: "batch", Jobs: 4, N: 200000},
+			{Class: "interactive", Jobs: 3, N: 20000},
+		},
+		Policies: []AdmissionPolicy{{
+			Policy: "slo", ElapsedS: 0.8, JobsPerSecond: 8.75, Jobs: 7,
+			Classes: []AdmissionClass{
+				{Class: "batch", Jobs: 4, Jain: 0.99,
+					E2E:       Quantiles{Count: 4, P50: 0.1, P90: 0.2, P99: 0.3, Max: 0.4},
+					QueueWait: Quantiles{Count: 4, P50: 0.05, P90: 0.1, P99: 0.2, Max: 0.3}},
+				{Class: "interactive", Jobs: 3, Jain: 1,
+					E2E:       Quantiles{Count: 3, P50: 0.01, P90: 0.02, P99: 0.03, Max: 0.04},
+					QueueWait: Quantiles{Count: 3, P50: 0.001, P90: 0.002, P99: 0.003, Max: 0.004}},
+			},
+		}},
+	}
+}
+
+func TestAdmissionPointValidates(t *testing.T) {
+	pt := Point{SchemaVersion: SchemaVersion, ID: "0008", Admission: validAdmission()}
+	if err := pt.Validate(); err != nil {
+		t.Fatalf("valid admission point rejected: %v", err)
+	}
+}
+
+func TestAdmissionValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Admission)
+		want string
+	}{
+		{"no cohorts", func(a *Admission) { a.Cohorts = nil }, "no cohorts"},
+		{"no policies", func(a *Admission) { a.Policies = nil }, "no policies"},
+		{"nonpositive tenants", func(a *Admission) { a.Tenants = 0 }, "tenants"},
+		{"policy jobs mismatch", func(a *Admission) { a.Policies[0].Jobs = 6 }, "want the cohorts'"},
+		{"class jobs mismatch", func(a *Admission) {
+			a.Policies[0].Classes[0].Jobs = 3
+		}, "want the cohorts'"},
+		{"class sum", func(a *Admission) {
+			// Keep per-class counts plausible but move a job to a class
+			// the cohorts never declared, so only the sum check trips.
+			a.Policies[0].Classes[1].Class = "mystery"
+			a.Policies[0].Classes[1].Jobs = 2
+			a.Policies[0].Classes[1].E2E.Count = 2
+		}, "sum to"},
+		{"e2e count", func(a *Admission) { a.Policies[0].Classes[0].E2E.Count = 5 }, "e2e count"},
+		{"jain range", func(a *Admission) { a.Policies[0].Classes[0].Jain = 1.2 }, "jain"},
+		{"nonmonotone queue wait", func(a *Admission) {
+			a.Policies[0].Classes[0].QueueWait.P99 = 0.01
+		}, "queue_wait"},
+	}
+	for _, tc := range cases {
+		a := validAdmission()
+		tc.mut(a)
+		pt := Point{SchemaVersion: SchemaVersion, ID: "x", Admission: a}
+		err := pt.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

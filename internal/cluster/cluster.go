@@ -37,6 +37,7 @@ import (
 type Pool interface {
 	Submit(ctx context.Context, fn func(*runtime.Ctx) error, h server.Hint) (*server.Job, error)
 	InFlight() (queued, running int)
+	QueuedByClass() map[string]int
 	Workers() int
 	Config() server.Config
 	Counters() server.Counters
@@ -74,6 +75,23 @@ type RouteCounts struct {
 	// Rejected counts submissions routed to the pool that its admission
 	// then rejected (not part of Jobs).
 	Rejected int64
+	// Classes partitions Jobs by the landing pool's effective priority
+	// class (the server-normalized Hint.Class, so jobs submitted with an
+	// empty class count under the pool's default). Nil until the first
+	// admitted job.
+	Classes map[string]int64
+}
+
+// clone deep-copies the counters (the Classes map is shared otherwise).
+func (c RouteCounts) clone() RouteCounts {
+	if c.Classes != nil {
+		m := make(map[string]int64, len(c.Classes))
+		for k, v := range c.Classes {
+			m[k] = v
+		}
+		c.Classes = m
+	}
+	return c
 }
 
 // WarmRate returns Warm / Jobs, or 0 with no jobs.
@@ -168,11 +186,12 @@ func (c *Cluster) Snapshots() []Snapshot {
 	for i, p := range c.pools {
 		q, r := p.InFlight()
 		snaps[i] = Snapshot{
-			Pool:     i,
-			Workers:  p.Workers(),
-			Queued:   q,
-			Running:  r,
-			MaxQueue: p.Config().MaxQueue,
+			Pool:          i,
+			Workers:       p.Workers(),
+			Queued:        q,
+			Running:       r,
+			QueuedByClass: p.QueuedByClass(),
+			MaxQueue:      p.Config().MaxQueue,
 		}
 	}
 	return snaps
@@ -196,7 +215,7 @@ func (c *Cluster) Submit(ctx context.Context, req Request, fn func(*runtime.Ctx)
 		c.counts[dec.Pool].Rejected++
 		return nil, fmt.Errorf("cluster: pool %d: %w", dec.Pool, err)
 	}
-	c.noteRoutedLocked(dec.Pool, verdict)
+	c.noteRoutedLocked(dec.Pool, verdict, sj.Hint().Class)
 	if req.Key != "" {
 		c.last[req.Key] = dec.Pool
 	}
@@ -225,7 +244,7 @@ func (c *Cluster) classifyLocked(key string, dec Decision) Verdict {
 	}
 }
 
-func (c *Cluster) noteRoutedLocked(pool int, v Verdict) {
+func (c *Cluster) noteRoutedLocked(pool int, v Verdict, class string) {
 	ct := &c.counts[pool]
 	ct.Jobs++
 	switch v {
@@ -238,14 +257,22 @@ func (c *Cluster) noteRoutedLocked(pool int, v Verdict) {
 	case Moved:
 		ct.Moved++
 	}
+	if class != "" {
+		if ct.Classes == nil {
+			ct.Classes = make(map[string]int64)
+		}
+		ct.Classes[class]++
+	}
 }
 
-// RouteCounts returns a copy of the per-pool routing counters.
+// RouteCounts returns a deep copy of the per-pool routing counters.
 func (c *Cluster) RouteCounts() []RouteCounts {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]RouteCounts, len(c.counts))
-	copy(out, c.counts)
+	for i, ct := range c.counts {
+		out[i] = ct.clone()
+	}
 	return out
 }
 
@@ -259,6 +286,12 @@ func (c *Cluster) Totals() RouteCounts {
 		t.Spill += ct.Spill
 		t.Moved += ct.Moved
 		t.Rejected += ct.Rejected
+		for cl, n := range ct.Classes {
+			if t.Classes == nil {
+				t.Classes = make(map[string]int64)
+			}
+			t.Classes[cl] += n
+		}
 	}
 	return t
 }

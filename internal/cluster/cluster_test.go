@@ -368,3 +368,83 @@ func TestWorkersAndInFlight(t *testing.T) {
 		t.Errorf("Snapshots() = %+v", snaps)
 	}
 }
+
+// TestClassLedger pins the per-class routing ledger: admitted jobs count
+// under their server-normalized class per pool, Totals merges the maps,
+// snapshots break queued depth down by class, and the
+// adws_cluster_routed_by_class_total family renders validly.
+func TestClassLedger(t *testing.T) {
+	c := newTestCluster(t, 2, NewRoundRobin())
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	jobs := []*Job{}
+	for i, class := range []string{server.ClassBatch, server.ClassInteractive, "", server.ClassBatch} {
+		j, err := c.Submit(context.Background(), Request{Key: "k", Class: class},
+			spinBody, server.Hint{Class: class, Work: float64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitJob(t, j)
+	}
+
+	tot := c.Totals()
+	if tot.Classes[server.ClassBatch] != 2 || tot.Classes[server.ClassInteractive] != 1 ||
+		tot.Classes[server.ClassStandard] != 1 {
+		t.Errorf("Totals().Classes = %v, want batch 2 / interactive 1 / standard 1 (empty class normalized)", tot.Classes)
+	}
+	var perPool int64
+	for _, ct := range c.RouteCounts() {
+		for _, n := range ct.Classes {
+			perPool += n
+		}
+	}
+	if perPool != 4 {
+		t.Errorf("per-pool class counts sum to %d, want 4", perPool)
+	}
+	// Mutating a returned copy must not leak into the ledger.
+	c.RouteCounts()[0].Classes[server.ClassBatch] = 99
+	if got := c.Totals().Classes[server.ClassBatch]; got != 2 {
+		t.Errorf("ledger mutated through RouteCounts copy: batch = %d", got)
+	}
+
+	snaps := c.Snapshots()
+	for _, s := range snaps {
+		if s.QueuedByClass == nil {
+			t.Fatalf("snapshot %d missing QueuedByClass", s.Pool)
+		}
+		sum := 0
+		for _, n := range s.QueuedByClass {
+			sum += n
+		}
+		if sum != s.Queued {
+			t.Errorf("pool %d: class breakdown sums to %d, Queued = %d", s.Pool, sum, s.Queued)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseText(b.String())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, b.String())
+	}
+	var byClass float64
+	for _, f := range fams {
+		if f.Name != "adws_cluster_routed_by_class_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels["class"] == "" || s.Labels["pool"] == "" {
+				t.Errorf("sample missing labels: %+v", s)
+			}
+			byClass += s.Value
+		}
+	}
+	if byClass != 4 {
+		t.Errorf("routed_by_class_total sums to %v, want 4", byClass)
+	}
+}

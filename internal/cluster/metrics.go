@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sort"
 	"strconv"
 
 	"github.com/parlab/adws/internal/metrics"
@@ -12,6 +13,7 @@ import (
 //	adws_cluster_pools                                   gauge
 //	adws_cluster_workers                                 gauge
 //	adws_cluster_routed_total{pool,policy,verdict}       counter
+//	adws_cluster_routed_by_class_total{pool,class}       counter
 //	adws_cluster_rejected_total{pool,policy}             counter
 //	adws_cluster_pool_queued{pool}                       gauge
 //	adws_cluster_pool_running{pool}                      gauge
@@ -45,6 +47,29 @@ func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
 							{Name: "verdict", Value: string(v.verdict)},
 						},
 						Value: float64(v.n),
+					})
+				}
+			}
+			return out
+		})
+	reg.CounterMultiFunc("adws_cluster_routed_by_class_total",
+		"Jobs routed and admitted, by pool and effective priority class.",
+		func() []metrics.MultiLabeled {
+			counts := c.RouteCounts()
+			var out []metrics.MultiLabeled
+			for pool, ct := range counts {
+				classes := make([]string, 0, len(ct.Classes))
+				for cl := range ct.Classes {
+					classes = append(classes, cl)
+				}
+				sort.Strings(classes)
+				for _, cl := range classes {
+					out = append(out, metrics.MultiLabeled{
+						Labels: []metrics.Label{
+							{Name: "pool", Value: strconv.Itoa(pool)},
+							{Name: "class", Value: cl},
+						},
+						Value: float64(ct.Classes[cl]),
 					})
 				}
 			}

@@ -14,6 +14,10 @@ type Request struct {
 	Key string
 	// Work is the job's relative work hint (<= 0 is treated as 1).
 	Work float64
+	// Class is the job's priority class name (may be empty: the landing
+	// pool applies its default). Routers may use it to keep
+	// latency-critical classes off backlogged pools.
+	Class string
 }
 
 // Snapshot is one pool's live load at routing time. The slice index
@@ -24,7 +28,14 @@ type Snapshot struct {
 	// Workers is the pool's worker count.
 	Workers int
 	// Queued and Running are the pool's admission state (Server.InFlight).
+	// Queued counts only still-admissible entries: the serving layer
+	// reaps deadline-expired and cancelled queue entries before
+	// reporting, so absorbing a burst of expired work does not skew the
+	// load figure routers compare.
 	Queued, Running int
+	// QueuedByClass breaks Queued down by priority class, so routers see
+	// whether a pool's backlog is latency-critical or batch.
+	QueuedByClass map[string]int
 	// MaxQueue is the pool's admission-queue capacity: a pool with
 	// Queued >= MaxQueue would fast-reject the submission.
 	MaxQueue int

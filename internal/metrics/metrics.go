@@ -82,6 +82,13 @@ type MultiLabeled struct {
 	Value  float64
 }
 
+// vecHist is one member of a labeled histogram family: the histogram
+// recording samples for one value of the family's partition label.
+type vecHist struct {
+	value string
+	hist  *Histogram
+}
+
 // entry is one registered family, rendered in registration order.
 type entry struct {
 	name, help string
@@ -91,6 +98,7 @@ type entry struct {
 	counter     *Counter
 	gauge       *Gauge
 	hist        *Histogram
+	histVec     []vecHist
 	counterFn   func() float64
 	gaugeFn     func() float64
 	vecLabel    string
@@ -169,6 +177,37 @@ func (r *Registry) Histogram(name, help string, shards int) *Histogram {
 	r.register(entry{name: name, help: help, typ: "histogram", hist: h})
 	r.byName[name] = h
 	return h
+}
+
+// HistogramVec registers a histogram family partitioned by one label: one
+// independent sharded histogram per label value, rendered as a single
+// family whose _bucket/_sum/_count series all carry the label. The
+// returned map is keyed by label value; callers record into the member
+// for the value they observed (e.g. a job's priority class). Values must
+// be non-empty and unique; the label set is fixed at registration, like
+// every other family.
+func (r *Registry) HistogramVec(name, help, label string, values []string, shards int) map[string]*Histogram {
+	if len(values) == 0 {
+		panic("metrics: HistogramVec " + name + " needs at least one label value")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	vec := make([]vecHist, 0, len(values))
+	out := make(map[string]*Histogram, len(values))
+	for _, v := range values {
+		if v == "" {
+			panic("metrics: HistogramVec " + name + " has an empty label value")
+		}
+		if _, dup := out[v]; dup {
+			panic("metrics: HistogramVec " + name + " repeats label value " + strconv.Quote(v))
+		}
+		h := &Histogram{name: name, help: help, shards: make([]histShard, shards)}
+		vec = append(vec, vecHist{value: v, hist: h})
+		out[v] = h
+	}
+	r.register(entry{name: name, help: help, typ: "histogram", vecLabel: label, histVec: vec})
+	return out
 }
 
 // CounterFunc registers a counter family whose value is read from fn at
@@ -253,7 +292,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 				fmt.Fprintf(&b, "} %s\n", formatValue(s.Value))
 			}
 		case e.hist != nil:
-			writeHistogram(&b, e.name, e.hist.Snapshot())
+			writeHistogram(&b, e.name, "", e.hist.Snapshot())
+		case e.histVec != nil:
+			for _, vh := range e.histVec {
+				labels := fmt.Sprintf("%s=%q", e.vecLabel, vh.value)
+				writeHistogram(&b, e.name, labels, vh.hist.Snapshot())
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -263,7 +307,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 // writeHistogram renders one histogram's cumulative _bucket series (only
 // boundaries whose bucket is occupied, which is a valid subset per the
 // exposition format, plus the mandatory +Inf), then _sum and _count.
-func writeHistogram(b *strings.Builder, name string, s Snapshot) {
+// labels, when non-empty, is a rendered label list (e.g. `class="batch"`)
+// prefixed to every series' label set — the labeled member of a
+// HistogramVec family.
+func writeHistogram(b *strings.Builder, name, labels string, s Snapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i := 0; i < NumBuckets-1; i++ {
 		if s.Counts[i] == 0 {
@@ -271,11 +322,16 @@ func writeHistogram(b *strings.Builder, name string, s Snapshot) {
 		}
 		cum += s.Counts[i]
 		le := formatValue(BucketUpper(i) / 1e9)
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(float64(s.Sum)/1e9))
-	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(float64(s.Sum)/1e9))
+		fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatValue(float64(s.Sum)/1e9))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
 }
 
 // formatValue renders a float the way Prometheus clients do: shortest

@@ -276,32 +276,69 @@ func parseValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
+// histGroup collects one label-set's slice of a histogram family: a
+// labeled family (HistogramVec) renders one complete
+// _bucket/_sum/_count group per partition-label value, each of which
+// must independently satisfy the histogram invariants.
+type histGroup struct {
+	key     string
+	buckets []Sample
+	sum     *Sample
+	count   *Sample
+}
+
 // validate enforces per-family invariants after parsing.
 func (f *Family) validate() error {
 	if f.Type != "histogram" {
 		return nil
 	}
-	var buckets []Sample
-	var sum, count *Sample
+	groups := map[string]*histGroup{}
+	var order []*histGroup
+	group := func(s *Sample) *histGroup {
+		key := groupKey(*s)
+		g := groups[key]
+		if g == nil {
+			g = &histGroup{key: key}
+			groups[key] = g
+			order = append(order, g)
+		}
+		return g
+	}
 	for i := range f.Samples {
 		s := &f.Samples[i]
 		switch s.Name {
 		case f.Name + "_bucket":
-			buckets = append(buckets, *s)
+			g := group(s)
+			g.buckets = append(g.buckets, *s)
 		case f.Name + "_sum":
-			sum = s
+			group(s).sum = s
 		case f.Name + "_count":
-			count = s
+			group(s).count = s
 		}
 	}
-	if sum == nil || count == nil {
+	if len(order) == 0 {
+		return fmt.Errorf("no samples")
+	}
+	for _, g := range order {
+		if err := g.validate(); err != nil {
+			if g.key != "" {
+				return fmt.Errorf("{%s}: %w", g.key, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *histGroup) validate() error {
+	if g.sum == nil || g.count == nil {
 		return fmt.Errorf("missing _sum or _count")
 	}
-	if len(buckets) == 0 {
+	if len(g.buckets) == 0 {
 		return fmt.Errorf("no _bucket samples")
 	}
-	les := make([]float64, len(buckets))
-	for i, b := range buckets {
+	les := make([]float64, len(g.buckets))
+	for i, b := range g.buckets {
 		le, err := parseValue(b.Labels["le"])
 		if err != nil {
 			return fmt.Errorf("bad le %q: %w", b.Labels["le"], err)
@@ -311,19 +348,44 @@ func (f *Family) validate() error {
 	if !sort.Float64sAreSorted(les) {
 		return fmt.Errorf("le boundaries not sorted")
 	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i].Value < buckets[i-1].Value {
-			return fmt.Errorf("bucket counts not cumulative at le=%s", buckets[i].Labels["le"])
+	for i := 1; i < len(g.buckets); i++ {
+		if g.buckets[i].Value < g.buckets[i-1].Value {
+			return fmt.Errorf("bucket counts not cumulative at le=%s", g.buckets[i].Labels["le"])
 		}
 	}
-	last := buckets[len(buckets)-1]
+	last := g.buckets[len(g.buckets)-1]
 	if !math.IsInf(les[len(les)-1], 1) {
 		return fmt.Errorf("missing le=\"+Inf\" bucket")
 	}
-	if last.Value != count.Value {
-		return fmt.Errorf("+Inf bucket %g != _count %g", last.Value, count.Value)
+	if last.Value != g.count.Value {
+		return fmt.Errorf("+Inf bucket %g != _count %g", last.Value, g.count.Value)
 	}
 	return nil
+}
+
+// groupKey renders a sample's label set with le excluded, sorted —
+// the identity of the labeled histogram group the sample belongs to.
+// Unlabeled samples group under "".
+func groupKey(s Sample) string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+	}
+	return strings.Join(parts, ",")
 }
 
 func seriesKey(s Sample) string {

@@ -92,6 +92,99 @@ func TestRegistryWriteTextRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHistogramVecRoundTrip pins the labeled-histogram family: each class
+// renders its own complete _bucket/_sum/_count group under one TYPE
+// header, and the strict parser validates each group independently.
+func TestHistogramVecRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	vec := r.HistogramVec("test_class_seconds", "Per-class latency.", "class",
+		[]string{"interactive", "batch"}, 2)
+	vec["interactive"].RecordAny(1_000_000) // 1ms
+	vec["interactive"].RecordAny(2_000_000) // 2ms
+	vec["batch"].RecordAny(500_000_000)     // 500ms
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(b.String())
+	if err != nil {
+		t.Fatalf("strict parse of labeled histogram failed: %v\n%s", err, b.String())
+	}
+	if len(fams) != 1 || fams[0].Name != "test_class_seconds" || fams[0].Type != "histogram" {
+		t.Fatalf("families = %+v", fams)
+	}
+	counts := map[string]float64{}
+	sums := map[string]float64{}
+	for _, s := range fams[0].Samples {
+		switch s.Name {
+		case "test_class_seconds_count":
+			counts[s.Labels["class"]] = s.Value
+		case "test_class_seconds_sum":
+			sums[s.Labels["class"]] = s.Value
+		case "test_class_seconds_bucket":
+			if s.Labels["class"] == "" {
+				t.Fatalf("bucket sample without class label: %+v", s)
+			}
+		}
+	}
+	if counts["interactive"] != 2 || counts["batch"] != 1 {
+		t.Fatalf("per-class counts = %v, want interactive 2 / batch 1", counts)
+	}
+	if math.Abs(sums["interactive"]-0.003) > 1e-12 || math.Abs(sums["batch"]-0.5) > 1e-12 {
+		t.Fatalf("per-class sums = %v", sums)
+	}
+}
+
+func TestHistogramVecPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no values", func() {
+		NewRegistry().HistogramVec("test_v_seconds", "", "class", nil, 1)
+	})
+	mustPanic("empty value", func() {
+		NewRegistry().HistogramVec("test_v_seconds", "", "class", []string{""}, 1)
+	})
+	mustPanic("duplicate value", func() {
+		NewRegistry().HistogramVec("test_v_seconds", "", "class", []string{"a", "a"}, 1)
+	})
+}
+
+// TestParseTextLabeledHistogramRejects pins that per-group validation
+// still catches broken groups inside a labeled family.
+func TestParseTextLabeledHistogramRejects(t *testing.T) {
+	cases := map[string]string{
+		"group missing sum": "# TYPE h histogram\n" +
+			`h_bucket{class="a",le="+Inf"} 1` + "\n" + `h_count{class="a"} 1` + "\n",
+		"group count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{class="a",le="+Inf"} 1` + "\n" +
+			`h_sum{class="a"} 1` + "\n" + `h_count{class="a"} 2` + "\n",
+		"group non-cumulative": "# TYPE h histogram\n" +
+			`h_bucket{class="a",le="1"} 5` + "\n" + `h_bucket{class="a",le="+Inf"} 3` + "\n" +
+			`h_sum{class="a"} 1` + "\n" + `h_count{class="a"} 3` + "\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition:\n%s", name, text)
+		}
+	}
+	good := "# TYPE h histogram\n" +
+		`h_bucket{class="a",le="+Inf"} 1` + "\n" +
+		`h_sum{class="a"} 1` + "\n" + `h_count{class="a"} 1` + "\n" +
+		`h_bucket{class="b",le="+Inf"} 9` + "\n" +
+		`h_sum{class="b"} 2` + "\n" + `h_count{class="b"} 9` + "\n"
+	if _, err := ParseText(good); err != nil {
+		t.Errorf("parser rejected valid labeled histogram: %v", err)
+	}
+}
+
 func TestRegistryEmptyHistogramParses(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("test_empty_seconds", "Never recorded.", 2)

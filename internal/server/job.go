@@ -23,9 +23,19 @@ type Hint struct {
 	Size int64
 	// Deadline, when nonzero, bounds the job's time in the admission
 	// queue: a job still queued at the deadline is cancelled and never
-	// runs. Running jobs are not preempted (tasks are not interruptible);
-	// bodies that want to stop early must watch Job.Context themselves.
+	// runs. A deadline already past at submit is rejected synchronously
+	// with context.DeadlineExceeded. Running jobs are not preempted (tasks
+	// are not interruptible); bodies that want to stop early must watch
+	// Job.Context themselves.
 	Deadline time.Time
+	// Class names the job's priority class. Empty means the server's
+	// default class; a name outside the server's class list is rejected
+	// with ErrUnknownClass. The server normalizes the field at submit, so
+	// Job.Hint always reports the effective class.
+	Class string
+	// Tenant identifies the submitting tenant for per-tenant rate
+	// limiting and fairness accounting. Empty is its own (shared) tenant.
+	Tenant string
 }
 
 // State is a job's lifecycle state.
@@ -119,8 +129,14 @@ func (j *Job) TraceID() int64 {
 	return j.root.ID()
 }
 
-// Hint returns the hints the job was submitted with.
+// Hint returns the hints the job was submitted with, with Class
+// normalized to the effective class. Immutable after Submit returns.
 func (j *Job) Hint() Hint { return j.hint }
+
+// Submitted returns the job's submission time. It is set once before the
+// job is published and never changes, so Admitters may read it from
+// inside Next without taking any lock.
+func (j *Job) Submitted() time.Time { return j.submitted }
 
 // Context returns the job's context: it carries the submission context
 // and the hint deadline, and is cancelled by Cancel. Job bodies may watch

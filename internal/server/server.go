@@ -42,20 +42,48 @@ var (
 	ErrClosed = errors.New("server: closed")
 )
 
+// Built-in admission policy names for Config.AdmissionPolicy.
+const (
+	// AdmitFIFO is bounded-FIFO admission (BoundedFIFO), the default.
+	AdmitFIFO = "fifo"
+	// AdmitSLO is SLO-aware admission (PriorityAdmitter): priority
+	// classes with aging, EDF within a class, SJF tie-break, per-tenant
+	// rate limiting.
+	AdmitSLO = "slo"
+)
+
 // Config parameterizes admission control and placement.
 type Config struct {
 	// MaxInFlight caps concurrently running jobs (<= 0: the pool's worker
-	// count). Consulted by the default Admitter only.
+	// count). Consulted by the built-in Admitters only.
 	MaxInFlight int
 	// MaxQueue caps the admission queue depth; submissions beyond it are
 	// fast-rejected with ErrOverloaded (<= 0: 4 × MaxInFlight).
-	// Consulted by the default Admitter only.
+	// Consulted by the built-in Admitters only.
 	MaxQueue int
 	// RetainDone caps how many terminal jobs the id lookup keeps, oldest
 	// evicted first (<= 0: 1024). In-flight jobs are always retained.
 	RetainDone int
-	// Admitter is the admission policy (nil: BoundedFIFO over the
-	// defaulted MaxInFlight/MaxQueue).
+	// AdmissionPolicy selects the built-in admission policy when Admitter
+	// is nil: AdmitFIFO (default) or AdmitSLO. Any other value panics in
+	// New.
+	AdmissionPolicy string
+	// Classes is the priority-class list, highest priority first (nil:
+	// DefaultClasses). Per-class accounting uses it under every policy;
+	// dispatch order consults it only under AdmitSLO.
+	Classes []string
+	// DefaultClass is the class assigned to submissions with an empty
+	// Hint.Class ("": ClassStandard when present in Classes, else the
+	// lowest-priority class).
+	DefaultClass string
+	// Aging is the AdmitSLO cross-class promotion quantum (<= 0:
+	// DefaultAging).
+	Aging time.Duration
+	// TenantRate and TenantBurst configure AdmitSLO per-tenant token
+	// buckets (rate <= 0 disables limiting; burst <= 0 defaults to
+	// max(1, rate)).
+	TenantRate, TenantBurst float64
+	// Admitter is the admission policy (nil: built from AdmissionPolicy).
 	Admitter Admitter
 	// Placer is the worker-range placement policy (nil: a fresh
 	// CursorPlacer).
@@ -76,8 +104,37 @@ func (c Config) withDefaults(workers int) Config {
 	if c.RetainDone <= 0 {
 		c.RetainDone = 1024
 	}
+	if c.AdmissionPolicy == "" {
+		c.AdmissionPolicy = AdmitFIFO
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = DefaultClasses()
+	}
+	if c.DefaultClass == "" {
+		c.DefaultClass = c.Classes[len(c.Classes)-1]
+		for _, cl := range c.Classes {
+			if cl == ClassStandard {
+				c.DefaultClass = ClassStandard
+				break
+			}
+		}
+	}
+	if !containsClass(c.Classes, c.DefaultClass) {
+		panic("server: DefaultClass " + c.DefaultClass + " is not in Classes")
+	}
 	if c.Admitter == nil {
-		c.Admitter = BoundedFIFO{MaxInFlight: c.MaxInFlight, MaxQueue: c.MaxQueue}
+		switch c.AdmissionPolicy {
+		case AdmitFIFO:
+			c.Admitter = BoundedFIFO{MaxInFlight: c.MaxInFlight, MaxQueue: c.MaxQueue}
+		case AdmitSLO:
+			p := NewPriorityAdmitter(c.Classes, c.MaxInFlight, c.MaxQueue)
+			p.Aging = c.Aging
+			p.TenantRate = c.TenantRate
+			p.TenantBurst = c.TenantBurst
+			c.Admitter = p
+		default:
+			panic("server: unknown admission policy " + c.AdmissionPolicy)
+		}
 	}
 	if c.Placer == nil {
 		c.Placer = NewCursorPlacer()
@@ -88,6 +145,30 @@ func (c Config) withDefaults(workers int) Config {
 // Counters are the server's monotonic admission counters.
 type Counters struct {
 	Submitted, Rejected, Completed, Failed, Canceled int64
+}
+
+// tenantAgg accumulates one tenant's completed-job latency within a
+// class, the per-tenant throughput figure the Jain fairness index is
+// computed over.
+type tenantAgg struct {
+	done  int64
+	e2eNS int64
+}
+
+// classState is one priority class's accounting: its own counter set and
+// the per-tenant completion aggregates.
+type classState struct {
+	ctrs    Counters
+	tenants map[string]*tenantAgg
+}
+
+func containsClass(classes []string, c string) bool {
+	for _, cl := range classes {
+		if cl == c {
+			return true
+		}
+	}
+	return false
 }
 
 // Server serves concurrent jobs on one Runtime (usually a
@@ -110,6 +191,7 @@ type Server struct {
 	jobs    map[int64]*Job
 	order   []int64 // job ids in submission order, for bounded retention
 	ctrs    Counters
+	classes map[string]*classState // per-class accounting, keyed by class
 }
 
 // New creates a job server over pool. The server starts no goroutines
@@ -118,11 +200,17 @@ func New(pool Runtime, cfg Config) *Server {
 	if cfg.Metrics != nil {
 		cfg.Metrics.check()
 	}
+	cfg = cfg.withDefaults(pool.NumWorkers())
+	classes := make(map[string]*classState, len(cfg.Classes))
+	for _, c := range cfg.Classes {
+		classes[c] = &classState{tenants: make(map[string]*tenantAgg)}
+	}
 	return &Server{
 		pool:    pool,
-		cfg:     cfg.withDefaults(pool.NumWorkers()),
+		cfg:     cfg,
 		metrics: cfg.Metrics,
 		jobs:    make(map[int64]*Job),
+		classes: classes,
 	}
 }
 
@@ -132,8 +220,11 @@ func (s *Server) Config() Config { return s.cfg }
 // Submit admits fn as a new job. It never blocks: the job is dispatched
 // immediately when a running slot is free, queued when the admission
 // queue has room, and otherwise rejected with ErrOverloaded. ctx and the
-// hint deadline bound the job's time in the queue (see Hint.Deadline);
-// fn's returned error (or recovered panic) becomes Job.Err.
+// hint deadline bound the job's time in the queue (see Hint.Deadline); a
+// deadline already past is rejected synchronously with
+// context.DeadlineExceeded. An empty h.Class takes the server's default
+// class; an unknown one is rejected with ErrUnknownClass. fn's returned
+// error (or recovered panic) becomes Job.Err.
 func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -141,6 +232,7 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -149,9 +241,32 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 	case s.draining:
 		return nil, ErrDraining
 	}
-	if err := s.cfg.Admitter.Admit(len(s.queue), s.running); err != nil {
+	if h.Class == "" {
+		h.Class = s.cfg.DefaultClass
+	}
+	cs := s.classes[h.Class]
+	if cs == nil {
 		s.ctrs.Rejected++
-		s.noteReject()
+		s.noteReject(ErrUnknownClass)
+		return nil, fmt.Errorf("%w %q", ErrUnknownClass, h.Class)
+	}
+	// A deadline that has already passed can never run: reject it now
+	// instead of burning a queue slot on a job that only exists to be
+	// cancelled at dispatch.
+	if !h.Deadline.IsZero() && !h.Deadline.After(now) {
+		s.ctrs.Rejected++
+		cs.ctrs.Rejected++
+		s.noteReject(context.DeadlineExceeded)
+		return nil, context.DeadlineExceeded
+	}
+	// Reap entries whose deadline or context expired while queued before
+	// consulting the Admitter, so a burst of short-deadline jobs cannot
+	// pin queue slots and cause spurious ErrOverloaded rejects.
+	s.reapExpiredLocked()
+	if err := s.cfg.Admitter.Admit(h, now, len(s.queue), s.running); err != nil {
+		s.ctrs.Rejected++
+		cs.ctrs.Rejected++
+		s.noteReject(err)
 		return nil, err
 	}
 
@@ -172,9 +287,10 @@ func (s *Server) Submit(ctx context.Context, fn func(*runtime.Ctx) error, h Hint
 		done:      make(chan struct{}),
 		srv:       s,
 		state:     Queued,
-		submitted: time.Now(),
+		submitted: now,
 	}
 	s.ctrs.Submitted++
+	cs.ctrs.Submitted++
 	s.retainLocked(j)
 
 	if s.cfg.Admitter.CanDispatch(s.running) && len(s.queue) == 0 {
@@ -274,7 +390,7 @@ func (s *Server) body(j *Job) func(*runtime.Ctx) {
 }
 
 // reap waits for j's root to complete, finalizes it, and dispatches the
-// next queued job.
+// next queued job(s) in Admitter order.
 func (s *Server) reap(j *Job, work float64) {
 	<-j.root.Done()
 	s.mu.Lock()
@@ -291,12 +407,48 @@ func (s *Server) reap(j *Job, work float64) {
 	} else {
 		s.completeLocked(j, Done, nil)
 	}
+	s.dispatchQueuedLocked()
+	s.signalDrainedLocked()
+}
+
+// dispatchQueuedLocked reaps expired queue entries, then dispatches in
+// Admitter-chosen order while running slots are free. Caller holds s.mu.
+func (s *Server) dispatchQueuedLocked() {
+	s.reapExpiredLocked()
 	for s.cfg.Admitter.CanDispatch(s.running) && len(s.queue) > 0 {
-		next := s.queue[0]
-		s.queue = s.queue[1:]
+		now := time.Now()
+		i := s.cfg.Admitter.Next(now, s.queue)
+		if i < 0 || i >= len(s.queue) {
+			i = 0
+		}
+		next := s.queue[i]
+		copy(s.queue[i:], s.queue[i+1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
 		s.dispatchLocked(next)
 	}
-	s.signalDrainedLocked()
+}
+
+// reapExpiredLocked completes queued jobs whose context is already done
+// (deadline expired or cancelled) as Canceled, without waiting for their
+// AfterFunc watcher to fire, so queue depth never counts dead entries —
+// neither toward ErrOverloaded nor toward the load figures routers read
+// via InFlight. Caller holds s.mu.
+func (s *Server) reapExpiredLocked() {
+	live := 0
+	for _, j := range s.queue {
+		if err := j.ctx.Err(); err != nil {
+			s.noteQueueExpiry(err)
+			s.completeLocked(j, Canceled, err)
+			continue
+		}
+		s.queue[live] = j
+		live++
+	}
+	for i := live; i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:live]
 }
 
 // completeLocked moves j to a terminal state. Caller holds s.mu.
@@ -304,18 +456,39 @@ func (s *Server) completeLocked(j *Job, st State, err error) {
 	if j.state.Terminal() {
 		return
 	}
+	if j.stopWatch != nil {
+		j.stopWatch()
+		j.stopWatch = nil
+	}
 	j.state = st
 	j.err = err
 	j.finished = time.Now()
 	s.noteComplete(j)
 	j.cancel()
+	cs := s.classes[j.hint.Class]
 	switch st {
 	case Done:
 		s.ctrs.Completed++
+		if cs != nil {
+			cs.ctrs.Completed++
+			agg := cs.tenants[j.hint.Tenant]
+			if agg == nil {
+				agg = &tenantAgg{}
+				cs.tenants[j.hint.Tenant] = agg
+			}
+			agg.done++
+			agg.e2eNS += int64(j.finished.Sub(j.submitted))
+		}
 	case Failed:
 		s.ctrs.Failed++
+		if cs != nil {
+			cs.ctrs.Failed++
+		}
 	case Canceled:
 		s.ctrs.Canceled++
+		if cs != nil {
+			cs.ctrs.Canceled++
+		}
 	}
 	close(j.done)
 	s.signalDrainedLocked()
@@ -389,10 +562,81 @@ func (s *Server) Jobs() []*Job {
 }
 
 // InFlight returns the current queue depth and running-job count.
+// Expired queue entries are reaped first, so the queued figure counts
+// only jobs that can still run — load-based routers (least-loaded,
+// affinity spill) would otherwise steer work away from pools that merely
+// absorbed a burst of expired-deadline jobs.
 func (s *Server) InFlight() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.reapExpiredLocked()
 	return len(s.queue), s.running
+}
+
+// Classes returns the configured priority-class list, highest priority
+// first.
+func (s *Server) Classes() []string {
+	out := make([]string, len(s.cfg.Classes))
+	copy(out, s.cfg.Classes)
+	return out
+}
+
+// QueuedByClass returns the live queue depth per class (expired entries
+// reaped first). Classes with an empty queue are present with a zero.
+func (s *Server) QueuedByClass() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapExpiredLocked()
+	out := make(map[string]int, len(s.cfg.Classes))
+	for _, c := range s.cfg.Classes {
+		out[c] = 0
+	}
+	for _, j := range s.queue {
+		out[j.hint.Class]++
+	}
+	return out
+}
+
+// ClassCounters returns the per-class admission counters. Rejections
+// that happen before a class is resolved (closed/draining/unknown class)
+// appear only in the aggregate Counters.
+func (s *Server) ClassCounters() map[string]Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Counters, len(s.classes))
+	for c, cs := range s.classes {
+		out[c] = cs.ctrs
+	}
+	return out
+}
+
+// JainByClass returns the Jain fairness index over per-tenant mean
+// end-to-end latency of completed jobs within each class:
+// J = (Σx)² / (n·Σx²) for the n tenants with completions, so 1 means
+// every tenant saw the same mean latency and 1/n means one tenant
+// absorbed it all. Classes with no completions are omitted.
+func (s *Server) JainByClass() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64)
+	for c, cs := range s.classes {
+		var sum, sumSq float64
+		n := 0
+		for _, agg := range cs.tenants {
+			if agg.done == 0 {
+				continue
+			}
+			mean := float64(agg.e2eNS) / float64(agg.done)
+			sum += mean
+			sumSq += mean * mean
+			n++
+		}
+		if n == 0 || sumSq == 0 {
+			continue
+		}
+		out[c] = (sum * sum) / (float64(n) * sumSq)
+	}
+	return out
 }
 
 // Workers returns the underlying Runtime's worker count.

@@ -47,12 +47,19 @@ func registerPoolMetrics(reg *metrics.Registry, p *Pool) {
 	var st Stats
 	var queued, running int
 	var ctrs server.Counters
+	var queuedByClass map[string]int
+	var classCtrs map[string]server.Counters
+	var jain map[string]float64
 	reg.OnRender(func() {
 		s := p.p.Stats()
 		q, r := p.srv.InFlight()
 		c := p.srv.Counters()
+		qbc := p.srv.QueuedByClass()
+		cc := p.srv.ClassCounters()
+		jn := p.srv.JainByClass()
 		mu.Lock()
 		st, queued, running, ctrs = s, q, r, c
+		queuedByClass, classCtrs, jain = qbc, cc, jn
 		mu.Unlock()
 	})
 	get := func(f func() float64) func() float64 {
@@ -110,4 +117,68 @@ func registerPoolMetrics(reg *metrics.Registry, p *Pool) {
 		get(func() float64 { return float64(ctrs.Failed) }))
 	reg.CounterFunc("adws_jobs_canceled_total", "Jobs canceled before or while running.",
 		get(func() float64 { return float64(ctrs.Canceled) }))
+
+	// Per-priority-class breakdown. The class list is fixed at pool
+	// creation, so the label sets are stable across renders; the Jain
+	// gauge omits classes without completed jobs.
+	classes := p.srv.Classes()
+	reg.GaugeMultiFunc("adws_jobs_queued_by_class",
+		"Jobs waiting in the admission queue, by priority class.",
+		func() []metrics.MultiLabeled {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]metrics.MultiLabeled, len(classes))
+			for i, cl := range classes {
+				out[i] = metrics.MultiLabeled{
+					Labels: []metrics.Label{{Name: "class", Value: cl}},
+					Value:  float64(queuedByClass[cl]),
+				}
+			}
+			return out
+		})
+	reg.CounterMultiFunc("adws_jobs_outcomes_total",
+		"Job admission outcomes by priority class.",
+		func() []metrics.MultiLabeled {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]metrics.MultiLabeled, 0, 5*len(classes))
+			for _, cl := range classes {
+				cc := classCtrs[cl]
+				for _, o := range []struct {
+					outcome string
+					n       int64
+				}{
+					{"submitted", cc.Submitted}, {"rejected", cc.Rejected},
+					{"completed", cc.Completed}, {"failed", cc.Failed},
+					{"canceled", cc.Canceled},
+				} {
+					out = append(out, metrics.MultiLabeled{
+						Labels: []metrics.Label{
+							{Name: "class", Value: cl},
+							{Name: "outcome", Value: o.outcome},
+						},
+						Value: float64(o.n),
+					})
+				}
+			}
+			return out
+		})
+	reg.GaugeMultiFunc("adws_jobs_fairness_jain",
+		"Jain fairness index over per-tenant mean e2e latency, by class (1 = fair).",
+		func() []metrics.MultiLabeled {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]metrics.MultiLabeled, 0, len(jain))
+			for _, cl := range classes {
+				v, ok := jain[cl]
+				if !ok {
+					continue
+				}
+				out = append(out, metrics.MultiLabeled{
+					Labels: []metrics.Label{{Name: "class", Value: cl}},
+					Value:  v,
+				})
+			}
+			return out
+		})
 }

@@ -21,12 +21,19 @@
 #      point records the warm-hit-rate and e2e-p99 gap between locality
 #      routing and striding. 7 keys on 2 pools is deliberately coprime:
 #      striding can never line repeats up with their warm pool.
+#   4. The same invocation also drives the admission comparison that
+#      becomes the `admission` half: a 40-job batch backlog submitted
+#      ahead of a 24-job interactive cohort, run once under FIFO and
+#      once under SLO admission, so each point records the interactive
+#      p99 the priority/EDF ordering buys back from the backlog and the
+#      per-class Jain fairness index.
 #
 # Smoke mode (-smoke, run by check.sh and CI) never measures: it
 # schema-checks every committed BENCH_*.json via benchfmt.Validate and
-# does one tiny adwsload run whose rendered /metrics exposition is
-# re-parsed with the strict internal parser. Fails on any malformed
-# committed point or invalid exposition.
+# does one tiny adwsload run — including a tiny fifo-vs-slo admission
+# comparison — whose rendered /metrics exposition is re-parsed with the
+# strict internal parser. Fails on any malformed committed point or
+# invalid exposition.
 #
 # Usage: scripts/bench.sh [-smoke]
 set -euo pipefail
@@ -59,9 +66,10 @@ echo "==> reference simulation (adwsbench -figure run)"
 go run ./cmd/adwsbench -figure run -machine twolevel16 -bench quicksort \
     -mode sl-adws -json "$sim"
 
-echo "==> serve measurement + cluster routing comparison (adwsload) -> $out"
+echo "==> serve measurement + cluster routing + admission comparison (adwsload) -> $out"
 go run ./cmd/adwsload -workers 8 -sched adws -jobs 64 -workload quicksort \
     -seed 1 -pools 2 -keys 7 -compare affinity,round-robin \
+    -admcompare fifo,slo -cohorts "batch:40:200000,interactive:24:20000" -tenants 2 \
     -sim "$sim" -json "$out" -id "$next"
 
 go run ./cmd/adwsload -validate "$out"
