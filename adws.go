@@ -31,6 +31,7 @@ import (
 	"fmt"
 	gort "runtime"
 
+	"github.com/parlab/adws/internal/obs"
 	"github.com/parlab/adws/internal/runtime"
 	"github.com/parlab/adws/internal/server"
 	"github.com/parlab/adws/internal/topology"
@@ -80,6 +81,40 @@ type TraceEvent = trace.Event
 
 // TraceSummary is the derived-metrics view of a trace.
 type TraceSummary = trace.Summary
+
+// FlightRecorder is the always-on flight recorder: a small per-worker
+// event ring over the tracer's schema that keeps the recent scheduling
+// past at near-zero cost and dumps it on demand (or on watchdog
+// triggers) without stopping the pool. See docs/OBSERVABILITY.md.
+type FlightRecorder = obs.Recorder
+
+// FlightDump is one flight-recorder dump: the recorded event window plus
+// the scheduler snapshot taken with it.
+type FlightDump = obs.Dump
+
+// Watchdog samples cheap scheduler signals and auto-dumps the flight
+// recorder on stalls, deadline-miss bursts, and SLO burn.
+type Watchdog = obs.Watchdog
+
+// WatchdogConfig tunes the watchdog (WithWatchdog).
+type WatchdogConfig = obs.WatchdogConfig
+
+// WatchdogStatus is the watchdog's health summary, served by /healthz.
+type WatchdogStatus = obs.Status
+
+// SchedSnapshot is a point-in-time view of every worker's live scheduler
+// state (served by /debug/sched).
+type SchedSnapshot = obs.SchedSnapshot
+
+// SchedWorkerState is one worker's row in a SchedSnapshot.
+type SchedWorkerState = obs.WorkerState
+
+// Watchdog trigger reasons (the adws_watchdog_triggers_total labels).
+const (
+	WatchdogWorkerStall   = obs.ReasonWorkerStall
+	WatchdogDeadlineBurst = obs.ReasonDeadlineBurst
+	WatchdogSLOBurn       = obs.ReasonSLOBurn
+)
 
 // JobHint carries per-job admission and placement hints: relative work
 // against the other in-flight jobs, working-set size in bytes, and an
@@ -161,6 +196,9 @@ type config struct {
 	seed        uint64
 	pinThreads  bool
 	traceCap    int
+	frCap       int
+	noWatchdog  bool
+	wd          WatchdogConfig
 	maxInFlight int
 	maxQueue    int
 	admission   string
@@ -233,6 +271,31 @@ func WithTracing(eventsPerWorker int) Option {
 	}
 }
 
+// WithFlightRecorder sets the per-worker flight-recorder ring capacity
+// in events. The recorder is ON BY DEFAULT (capacity 4096 per worker);
+// this option only resizes it. A negative capacity disables the recorder
+// entirely — the watchdog then still counts triggers but dumps nothing.
+// Unlike WithTracing the recorder keeps only shallow task spans (group
+// depth <= 1) plus every steal, migration, park, wake, and boundary
+// event, which is what keeps its always-on cost near the nil-tracer
+// floor. See docs/OBSERVABILITY.md.
+func WithFlightRecorder(eventsPerWorker int) Option {
+	return func(c *config) { c.frCap = eventsPerWorker }
+}
+
+// WithWatchdog overrides the stall/SLO watchdog's tuning (sampling
+// interval, stall threshold, deadline-burst window, burn threshold, dump
+// directory). The watchdog is ON BY DEFAULT with obs defaults; zero
+// fields keep them.
+func WithWatchdog(cfg WatchdogConfig) Option {
+	return func(c *config) { c.wd = cfg }
+}
+
+// WithoutWatchdog disables the watchdog sampling goroutine.
+func WithoutWatchdog() Option {
+	return func(c *config) { c.noWatchdog = true }
+}
+
 // WithAdmission configures the job-serving admission control: the maximum
 // number of concurrently running jobs and the depth of the FIFO admission
 // queue beyond which Submit fast-rejects with ErrOverloaded. Zero values
@@ -283,6 +346,8 @@ type Pool struct {
 	srv    *server.Server
 	tracer *trace.Tracer
 	reg    *MetricsRegistry
+	flight *obs.Recorder
+	wd     *obs.Watchdog
 }
 
 // NewPool starts a pool. Without options it runs conventional work
@@ -302,6 +367,13 @@ func NewPool(opts ...Option) (*Pool, error) {
 	if cfg.traceCap > 0 {
 		tr = trace.New(cfg.machine.NumWorkers(), cfg.traceCap)
 	}
+	var fr *obs.Recorder
+	if cfg.frCap >= 0 {
+		fr = obs.NewRecorder(obs.Config{
+			Workers:  cfg.machine.NumWorkers(),
+			Capacity: cfg.frCap,
+		})
+	}
 	reg, rtm := newPoolRegistry(cfg.machine.NumWorkers())
 	p := runtime.NewPool(runtime.Config{
 		Machine:    cfg.machine,
@@ -309,19 +381,53 @@ func NewPool(opts ...Option) (*Pool, error) {
 		Seed:       cfg.seed,
 		PinThreads: cfg.pinThreads,
 		Tracer:     tr,
+		Flight:     fr,
 		Metrics:    rtm,
 	})
+	sm := server.NewMetrics(reg, nil)
 	srv := server.New(p, server.Config{
 		MaxInFlight:     cfg.maxInFlight,
 		MaxQueue:        cfg.maxQueue,
 		AdmissionPolicy: cfg.admission,
 		TenantRate:      cfg.tenantRate,
 		TenantBurst:     cfg.tenantBurst,
-		Metrics:         server.NewMetrics(reg, nil),
+		Metrics:         sm,
 	})
-	pool := &Pool{p: p, srv: srv, tracer: tr, reg: reg}
+	pool := &Pool{p: p, srv: srv, tracer: tr, reg: reg, flight: fr}
+	if !cfg.noWatchdog {
+		pool.wd = obs.NewWatchdog(fr, obs.Signals{
+			Sched:            p.SchedSnapshot,
+			QueuedJobs:       func() int { q, _ := srv.InFlight(); return q },
+			OldestQueueAgeNS: func() int64 { return int64(srv.OldestQueueAge()) },
+			DeadlineExpired:  func() int64 { return sm.Expired.Value() },
+			SLOBurn:          burnSignal(srv, sm),
+		}, cfg.wd)
+		pool.wd.Start()
+	}
 	registerPoolMetrics(reg, pool)
 	return pool, nil
+}
+
+// burnSignal builds the watchdog's SLO-burn closure: the fraction of
+// jobs that reached a terminal outcome since the previous sample and
+// expired their deadline. Only the watchdog goroutine calls it, so the
+// previous-sample state needs no locking.
+func burnSignal(srv *server.Server, sm *server.Metrics) func() float64 {
+	var lastExp, lastDone int64
+	return func() float64 {
+		exp := sm.Expired.Value()
+		c := srv.Counters()
+		done := c.Completed + c.Failed + c.Canceled + c.Rejected
+		dExp, dDone := exp-lastExp, done-lastDone
+		lastExp, lastDone = exp, done
+		if dExp <= 0 || dDone <= 0 {
+			return 0
+		}
+		if dExp >= dDone {
+			return 1
+		}
+		return float64(dExp) / float64(dDone)
+	}
 }
 
 // Run executes fn as the root task and blocks until every transitively
@@ -401,6 +507,32 @@ func (p *Pool) JainByClass() map[string]float64 { return p.srv.JainByClass() }
 // is active.
 func (p *Pool) Tracer() *Tracer { return p.tracer }
 
+// FlightRecorder returns the pool's always-on flight recorder, or nil if
+// WithFlightRecorder disabled it.
+func (p *Pool) FlightRecorder() *FlightRecorder { return p.flight }
+
+// Watchdog returns the pool's stall/SLO watchdog, or nil if
+// WithoutWatchdog disabled it.
+func (p *Pool) Watchdog() *Watchdog { return p.wd }
+
+// SchedSnapshot returns a live view of every worker's scheduler state.
+// Safe to call at any time, including under full load: rows are
+// assembled from lock-free reads and are individually accurate but not
+// mutually atomic.
+func (p *Pool) SchedSnapshot() SchedSnapshot { return p.p.SchedSnapshot() }
+
+// DumpFlight cuts the flight recorder into a dump tagged with reason,
+// attaching a fresh scheduler snapshot. It returns nil when the recorder
+// is disabled. Dumping is destructive — the returned window is consumed
+// from the rings — and safe while the pool runs.
+func (p *Pool) DumpFlight(reason string) *FlightDump {
+	if p.flight == nil {
+		return nil
+	}
+	snap := p.p.SchedSnapshot()
+	return p.flight.Dump(reason, -1, &snap)
+}
+
 // Metrics returns the pool's metrics registry. Unlike the tracer it is
 // always on (recording is lock-free and allocation-free; see
 // docs/METRICS.md) and may be rendered with WriteText at any time,
@@ -411,6 +543,9 @@ func (p *Pool) Metrics() *MetricsRegistry { return p.reg }
 // have completed (Drain first for a graceful shutdown); Run and Submit
 // after Close panic and error respectively.
 func (p *Pool) Close() {
+	if p.wd != nil {
+		p.wd.Stop()
+	}
 	p.srv.Close()
 	p.p.Close()
 }

@@ -147,6 +147,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /pools", d.listPools)
 	mux.HandleFunc("GET /healthz", d.healthz)
 	mux.HandleFunc("GET /metrics", d.metrics)
+	d.registerDebug(mux)
 	return mux
 }
 
@@ -309,10 +310,33 @@ func (d *daemon) describe(j *adws.ClusterJob) jobResponse {
 	return resp
 }
 
+// watchdogHealth is one pool's watchdog entry in /healthz.
+type watchdogHealth struct {
+	Pool int `json:"pool"`
+	adws.WatchdogStatus
+}
+
+// healthz reports liveness plus the per-pool watchdog verdicts. While
+// any pool has an active stall verdict the status degrades to "stalled"
+// and the endpoint answers 503, so load balancers and probes take the
+// daemon out of rotation until the stall clears.
 func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
 	queued, running := d.cluster.InFlight()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	status, code := "ok", http.StatusOK
+	var wds []watchdogHealth
+	for i := 0; i < d.cluster.NumPools(); i++ {
+		wd := d.cluster.Pool(i).Watchdog()
+		if wd == nil {
+			continue
+		}
+		st := wd.Status()
+		if !st.OK {
+			status, code = "stalled", http.StatusServiceUnavailable
+		}
+		wds = append(wds, watchdogHealth{Pool: i, WatchdogStatus: st})
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
 		"uptime_s":  time.Since(d.start).Seconds(),
 		"pools":     d.cluster.NumPools(),
 		"policy":    d.cluster.Policy(),
@@ -321,6 +345,7 @@ func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
 		"scheduler": d.cluster.Pool(0).Scheduler().String(),
 		"queued":    queued,
 		"running":   running,
+		"watchdog":  wds,
 	})
 }
 

@@ -1,0 +1,95 @@
+package main
+
+// Live scheduler introspection: /debug/sched (per-worker scheduler
+// state), /debug/fr (flight-recorder dump), and the stdlib /debug/pprof
+// handlers, all wired explicitly because the daemon uses its own mux.
+// Every endpoint takes ?pool=i; /debug/sched without it reports every
+// pool, /debug/fr defaults to pool 0 (dumps are destructive, so an
+// unqualified GET should not drain every pool's recorder at once).
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"github.com/parlab/adws"
+)
+
+// schedResponse is one pool's /debug/sched entry: the pool id plus the
+// embedded snapshot (taken_ns, workers).
+type schedResponse struct {
+	Pool int `json:"pool"`
+	adws.SchedSnapshot
+}
+
+// poolParam parses ?pool=i. Absent returns (0, false, nil); the caller
+// picks its own default.
+func (d *daemon) poolParam(r *http.Request) (int, bool, error) {
+	s := r.URL.Query().Get("pool")
+	if s == "" {
+		return 0, false, nil
+	}
+	i, err := strconv.Atoi(s)
+	if err != nil || i < 0 || i >= d.cluster.NumPools() {
+		return 0, false, fmt.Errorf("bad pool %q (have %d pools)", s, d.cluster.NumPools())
+	}
+	return i, true, nil
+}
+
+// debugSched serves the live scheduler snapshot: every pool by default,
+// one with ?pool=i. Reading is lock-free against the running pool.
+func (d *daemon) debugSched(w http.ResponseWriter, r *http.Request) {
+	i, selected, err := d.poolParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	lo, hi := 0, d.cluster.NumPools()
+	if selected {
+		lo, hi = i, i+1
+	}
+	out := make([]schedResponse, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		out = append(out, schedResponse{
+			Pool:          p,
+			SchedSnapshot: d.cluster.Pool(p).SchedSnapshot(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pools": out})
+}
+
+// debugFlight dumps pool ?pool=i's (default 0) flight recorder without
+// stopping it. The dump is destructive: the returned window is consumed
+// from the rings. ?format=chrome serves Chrome trace-event JSON for
+// Perfetto / chrome://tracing instead of the compact dump form.
+func (d *daemon) debugFlight(w http.ResponseWriter, r *http.Request) {
+	i, _, err := d.poolParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	dump := d.cluster.Pool(i).DumpFlight("http")
+	if dump == nil {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("pool %d has no flight recorder (disabled by WithFlightRecorder)", i))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = dump.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// registerDebug wires the debug endpoints onto mux.
+func (d *daemon) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/sched", d.debugSched)
+	mux.HandleFunc("GET /debug/fr", d.debugFlight)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

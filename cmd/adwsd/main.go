@@ -11,9 +11,13 @@
 //	GET  /jobs            all retained jobs
 //	GET  /jobs/{id}       one job
 //	GET  /pools           per-pool load, admission counters, routing ledger
-//	GET  /healthz         liveness + admission state
+//	GET  /healthz         liveness + admission state + watchdog verdicts
+//	                      (503 while a stall verdict is active)
 //	GET  /metrics         cluster registry (+ pool registry when -pools 1)
 //	GET  /metrics?pool=i  pool i's registry
+//	GET  /debug/sched     live per-worker scheduler state (?pool=i)
+//	GET  /debug/fr        flight-recorder dump (?pool=i, ?format=chrome)
+//	GET  /debug/pprof/    stdlib pprof index and profiles
 //
 // Shutdown: SIGINT/SIGTERM drains in-flight jobs (bounded by -draintimeout)
 // before closing the pools.
@@ -51,6 +55,10 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "victim-selection seed")
 		traceCap     = flag.Int("trace", 0, "enable per-pool tracing with this per-worker ring capacity (0: off)")
 		traceMetrics = flag.Bool("tracemetrics", false, "expose trace-derived metrics on pool scrapes when idle (requires -trace)")
+		frCap        = flag.Int("frcap", 0, "flight-recorder ring capacity per worker (0: default 4096; negative: disable)")
+		frDir        = flag.String("frdir", "", "directory for watchdog flight-recorder dump files (default $ADWS_FR_DIR)")
+		stallAfter   = flag.Duration("stallafter", 0, "watchdog worker-stall threshold (0: default 250ms)")
+		noWatchdog   = flag.Bool("nowatchdog", false, "disable the stall/SLO watchdog")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -72,6 +80,17 @@ func main() {
 	}
 	if *traceCap > 0 {
 		opts = append(opts, adws.WithTracing(*traceCap))
+	}
+	if *frCap != 0 {
+		opts = append(opts, adws.WithFlightRecorder(*frCap))
+	}
+	if *noWatchdog {
+		opts = append(opts, adws.WithoutWatchdog())
+	} else if *frDir != "" || *stallAfter > 0 {
+		opts = append(opts, adws.WithWatchdog(adws.WatchdogConfig{
+			DumpDir:    *frDir,
+			StallAfter: *stallAfter,
+		}))
 	}
 	cluster, err := adws.NewCluster(counts, *policy, opts...)
 	if err != nil {

@@ -144,6 +144,7 @@ func main() {
 	}
 	defer pool.Close()
 
+	wdBefore := watchdogTriggers(pool)
 	start := time.Now()
 	handles := make([]*adws.Job, 0, *jobs)
 	for i := 0; i < *jobs; i++ {
@@ -169,6 +170,11 @@ func main() {
 		selfCheck(reg)
 	}
 	serve := buildServe(pool, handles, *sched, *wlName, *n, *seed, elapsed)
+	serve.WatchdogBefore, serve.WatchdogAfter = wdBefore, watchdogTriggers(pool)
+	if before, after := total(wdBefore), total(serve.WatchdogAfter); after > before {
+		fmt.Printf("adwsload: watchdog fired %d time(s) during the run: %v\n",
+			after-before, serve.WatchdogAfter)
+	}
 	fmt.Printf("adwsload: %d×%s on %d workers (%s) in %.3fs — e2e p50 %.1fms p99 %.1fms, queue-wait p99 %.1fms\n",
 		*jobs, *wlName, *workers, *sched, elapsed.Seconds(),
 		serve.E2E.P50*1e3, serve.E2E.P99*1e3, serve.QueueWait.P99*1e3)
@@ -763,6 +769,27 @@ func buildServe(pool *adws.Pool, handles []*adws.Job, sched, wl string, n int, s
 		StealAttempt:  q("adws_steal_attempt_seconds"),
 		WakeToRun:     q("adws_wake_to_run_seconds"),
 	}
+}
+
+// watchdogTriggers snapshots the pool watchdog's per-reason trigger
+// counters, nil when the watchdog is disabled. adwsload records the
+// snapshot before and after the run so the summary attributes any
+// stall/burst/burn verdict to the load it drove.
+func watchdogTriggers(pool *adws.Pool) map[string]int64 {
+	wd := pool.Watchdog()
+	if wd == nil {
+		return nil
+	}
+	return wd.Triggers()
+}
+
+// total sums a per-reason trigger map.
+func total(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
 }
 
 // selfCheck renders the registry and re-parses it with the strict

@@ -81,6 +81,13 @@ type Serve struct {
 	Park         Quantiles `json:"park"`
 	StealAttempt Quantiles `json:"steal_attempt"`
 	WakeToRun    Quantiles `json:"wake_to_run"`
+
+	// Watchdog trigger counters by reason, captured before submissions
+	// started and after every job finished (nil when the watchdog is
+	// disabled). Diffing the two attributes stall/burst/burn verdicts to
+	// this load run.
+	WatchdogBefore map[string]int64 `json:"watchdog_before,omitempty"`
+	WatchdogAfter  map[string]int64 `json:"watchdog_after,omitempty"`
 }
 
 // Cluster is the routing-comparison half of a trajectory point: adwsload

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/parlab/adws/internal/runtime"
 	"github.com/parlab/adws/internal/server"
@@ -37,6 +38,7 @@ import (
 type Pool interface {
 	Submit(ctx context.Context, fn func(*runtime.Ctx) error, h server.Hint) (*server.Job, error)
 	InFlight() (queued, running int)
+	OldestQueueAge() time.Duration
 	QueuedByClass() map[string]int
 	Workers() int
 	Config() server.Config
@@ -186,12 +188,13 @@ func (c *Cluster) Snapshots() []Snapshot {
 	for i, p := range c.pools {
 		q, r := p.InFlight()
 		snaps[i] = Snapshot{
-			Pool:          i,
-			Workers:       p.Workers(),
-			Queued:        q,
-			Running:       r,
-			QueuedByClass: p.QueuedByClass(),
-			MaxQueue:      p.Config().MaxQueue,
+			Pool:             i,
+			Workers:          p.Workers(),
+			Queued:           q,
+			Running:          r,
+			QueuedByClass:    p.QueuedByClass(),
+			MaxQueue:         p.Config().MaxQueue,
+			OldestQueueAgeNS: int64(p.OldestQueueAge()),
 		}
 	}
 	return snaps

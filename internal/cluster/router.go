@@ -39,6 +39,11 @@ type Snapshot struct {
 	// MaxQueue is the pool's admission-queue capacity: a pool with
 	// Queued >= MaxQueue would fast-reject the submission.
 	MaxQueue int
+	// OldestQueueAgeNS is how long the pool's oldest still-admissible
+	// queued job has waited, in nanoseconds (0 with an empty queue). A
+	// pool whose backlog is merely deep differs from one whose backlog is
+	// old: the latter is starving, and health surfaces report it.
+	OldestQueueAgeNS int64
 }
 
 // load is the per-worker pending load the least-loaded and affinity

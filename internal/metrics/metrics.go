@@ -292,12 +292,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 				fmt.Fprintf(&b, "} %s\n", formatValue(s.Value))
 			}
 		case e.hist != nil:
-			writeHistogram(&b, e.name, "", e.hist.Snapshot())
+			s := e.hist.Snapshot()
+			writeHistogram(&b, e.name, "", s)
+			writeHistogramMax(&b, e.name, nil, []Snapshot{s})
 		case e.histVec != nil:
-			for _, vh := range e.histVec {
-				labels := fmt.Sprintf("%s=%q", e.vecLabel, vh.value)
-				writeHistogram(&b, e.name, labels, vh.hist.Snapshot())
+			labels := make([]string, len(e.histVec))
+			snaps := make([]Snapshot, len(e.histVec))
+			for i, vh := range e.histVec {
+				labels[i] = fmt.Sprintf("%s=%q", e.vecLabel, vh.value)
+				snaps[i] = vh.hist.Snapshot()
+				writeHistogram(&b, e.name, labels[i], snaps[i])
 			}
+			writeHistogramMax(&b, e.name, labels, snaps)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -331,6 +337,25 @@ func writeHistogram(b *strings.Builder, name, labels string, s Snapshot) {
 	} else {
 		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatValue(float64(s.Sum)/1e9))
 		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+// writeHistogramMax renders the companion <name>_max gauge family: the
+// largest value each histogram (or each labeled member) has observed, in
+// seconds. Internal quantile readers already clamp the open top bucket
+// to the observed maximum (Snapshot.Quantile); this family hands
+// external scrapers the same bound, so a p99 estimated from the bucket
+// boundaries can be clamped instead of inflated by one outlier landing
+// in a wide bucket. labels is nil for a plain histogram (one unlabeled
+// sample) and parallel to snaps for a vec family.
+func writeHistogramMax(b *strings.Builder, name string, labels []string, snaps []Snapshot) {
+	fmt.Fprintf(b, "# TYPE %s_max gauge\n", name)
+	for i, s := range snaps {
+		if labels == nil {
+			fmt.Fprintf(b, "%s_max %s\n", name, formatValue(float64(s.Max)/1e9))
+		} else {
+			fmt.Fprintf(b, "%s_max{%s} %s\n", name, labels[i], formatValue(float64(s.Max)/1e9))
+		}
 	}
 }
 

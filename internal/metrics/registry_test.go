@@ -111,8 +111,18 @@ func TestHistogramVecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("strict parse of labeled histogram failed: %v\n%s", err, b.String())
 	}
-	if len(fams) != 1 || fams[0].Name != "test_class_seconds" || fams[0].Type != "histogram" {
+	if len(fams) != 2 || fams[0].Name != "test_class_seconds" || fams[0].Type != "histogram" {
 		t.Fatalf("families = %+v", fams)
+	}
+	if fams[1].Name != "test_class_seconds_max" || fams[1].Type != "gauge" {
+		t.Fatalf("max family = %+v", fams[1])
+	}
+	maxes := map[string]float64{}
+	for _, s := range fams[1].Samples {
+		maxes[s.Labels["class"]] = s.Value
+	}
+	if math.Abs(maxes["interactive"]-0.002) > 1e-12 || math.Abs(maxes["batch"]-0.5) > 1e-12 {
+		t.Fatalf("per-class maxes = %v, want interactive 0.002 / batch 0.5", maxes)
 	}
 	counts := map[string]float64{}
 	sums := map[string]float64{}

@@ -65,6 +65,19 @@ func (e *entity) popLocal() *task {
 	return t
 }
 
+// queueLen reports the entity's current queue depth, for introspection
+// snapshots (SchedSnapshot): lock-free on the WS deque fast path, one
+// short lock on the ADWS queue set.
+func (e *entity) queueLen() int {
+	if e.ws != nil {
+		return e.ws.Len()
+	}
+	e.mu.Lock()
+	n := e.qs.Len()
+	e.mu.Unlock()
+	return n
+}
+
 func (e *entity) stealMigration(minDepth int) *task {
 	e.mu.Lock()
 	t, ok := e.qs.StealMigration(minDepth)

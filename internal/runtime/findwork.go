@@ -108,7 +108,6 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 	if n <= 1 {
 		return nil
 	}
-	tr := w.pool.tracer
 	m := w.pool.metrics
 	if d.adws {
 		anchor := ent.lastGroup.Load()
@@ -142,10 +141,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 				probeStart = now()
 			}
 			v := sr.Victim(self, w.rng.Intn(nv))
-			if tr != nil {
-				tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
+			if w.wantEv(trace.EvStealAttempt, int32(md)) {
+				w.emit(trace.Event{Type: trace.EvStealAttempt, Time: now(),
 					Self: int32(self), Victim: int32(v), Depth: int32(md),
-					RangeLo: srLo, RangeHi: srHi})
+					RangeLo: srLo, RangeHi: srHi}, int32(md))
 			}
 			vp := d.physical(v)
 			if vp == ent.idx {
@@ -157,10 +156,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 				if t := ve.stealMigration(md); t != nil {
 					w.noteSteal(t)
 					w.noteStealProbe(probeStart)
-					if tr != nil {
-						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
+					if w.wantEv(trace.EvStealSuccess, int32(md)) {
+						w.emit(trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
-							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi})
+							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi}, int32(md))
 					}
 					rebase(t, self, d)
 					return t
@@ -170,10 +169,10 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 				if t := ve.stealPrimary(md); t != nil {
 					w.noteSteal(t)
 					w.noteStealProbe(probeStart)
-					if tr != nil {
-						tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
+					if w.wantEv(trace.EvStealSuccess, int32(md)) {
+						w.emit(trace.Event{Type: trace.EvStealSuccess, Time: now(),
 							Self: int32(self), Victim: int32(v), Depth: int32(md),
-							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi})
+							Task: t.seq, Job: t.jobID(), RangeLo: srLo, RangeHi: srHi}, int32(md))
 					}
 					rebase(t, self, d)
 					return t
@@ -181,9 +180,9 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 			}
 			w.noteStealProbe(probeStart)
 		}
-		if tr != nil {
-			tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),
-				Self: int32(self), Depth: int32(md), RangeLo: srLo, RangeHi: srHi})
+		if w.wantEv(trace.EvStealFail, int32(md)) {
+			w.emit(trace.Event{Type: trace.EvStealFail, Time: now(),
+				Self: int32(self), Depth: int32(md), RangeLo: srLo, RangeHi: srHi}, int32(md))
 		}
 		return nil
 	}
@@ -201,24 +200,24 @@ func (w *worker) trySteal(ent *entity, minDepth int) *task {
 		if v >= ent.idx {
 			v++
 		}
-		if tr != nil {
-			tr.Record(w.id, trace.Event{Type: trace.EvStealAttempt, Time: now(),
-				Self: int32(ent.idx), Victim: int32(v)})
+		if w.wantEv(trace.EvStealAttempt, 0) {
+			w.emit(trace.Event{Type: trace.EvStealAttempt, Time: now(),
+				Self: int32(ent.idx), Victim: int32(v)}, 0)
 		}
 		if t := d.entities[v].stealAny(); t != nil {
 			w.noteSteal(t)
 			w.noteStealProbe(probeStart)
-			if tr != nil {
-				tr.Record(w.id, trace.Event{Type: trace.EvStealSuccess, Time: now(),
-					Self: int32(ent.idx), Victim: int32(v), Task: t.seq, Job: t.jobID()})
+			if w.wantEv(trace.EvStealSuccess, 0) {
+				w.emit(trace.Event{Type: trace.EvStealSuccess, Time: now(),
+					Self: int32(ent.idx), Victim: int32(v), Task: t.seq, Job: t.jobID()}, 0)
 			}
 			return t
 		}
 		w.noteStealProbe(probeStart)
 	}
-	if tr != nil && tries > 0 {
-		tr.Record(w.id, trace.Event{Type: trace.EvStealFail, Time: now(),
-			Self: int32(ent.idx)})
+	if tries > 0 && w.wantEv(trace.EvStealFail, 0) {
+		w.emit(trace.Event{Type: trace.EvStealFail, Time: now(),
+			Self: int32(ent.idx)}, 0)
 	}
 	return nil
 }

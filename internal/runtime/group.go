@@ -96,9 +96,9 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 	}
 	g.spawned++
 	g.remaining.Add(1)
-	t := &task{fn: fn, pg: g, dom: g.dom, job: g.parent.cur.job}
-	tr := g.pool.tracer
-	if tr != nil {
+	t := &task{fn: fn, pg: g, dom: g.dom, job: g.parent.cur.job,
+		sdepth: g.parent.cur.sdepth + 1}
+	if g.pool.tracer != nil || g.pool.flight.Wants(trace.EvTaskBegin, t.sdepth) {
 		t.seq = g.pool.taskSeq.Add(1)
 	}
 
@@ -120,10 +120,10 @@ func (tg *TaskGroup) Spawn(work float64, fn func(*Ctx)) {
 		ent := g.dom.entities[g.dom.physical(t.rng.Owner())]
 		t.ent = ent
 		t.inMigration = true
-		if tr != nil {
-			tr.Record(g.parent.w.id, trace.Event{Type: trace.EvMigration, Time: now(),
+		if w := g.parent.w; w.wantEv(trace.EvMigration, t.sdepth) {
+			w.emit(trace.Event{Type: trace.EvMigration, Time: now(),
 				Self: int32(g.iExec), Victim: int32(t.rng.Owner()), Task: t.seq,
-				Job: t.jobID(), Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y})
+				Job: t.jobID(), Depth: int32(t.depth), RangeLo: t.rng.X, RangeHi: t.rng.Y}, t.sdepth)
 		}
 		ent.push(t, true)
 		g.parent.w.stats.migrations.Add(1)
@@ -158,10 +158,9 @@ func (tg *TaskGroup) Wait() {
 	w := c.w
 	p := g.pool
 
-	tr := p.tracer
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvWaitEnter, Time: now(),
-			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)})
+	if w.wantEv(trace.EvWaitEnter, c.cur.sdepth) {
+		w.emit(trace.Event{Type: trace.EvWaitEnter, Time: now(),
+			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)}, c.cur.sdepth)
 	}
 
 	if ec := g.execChild; ec != nil {
@@ -211,9 +210,9 @@ func (tg *TaskGroup) Wait() {
 	// that is the work the wake delivered, so it closes the wake-to-run
 	// span (a wake consumed by findTask was already closed in noteStart).
 	w.noteRunAfterWake()
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvWaitExit, Time: now(),
-			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)})
+	if w.wantEv(trace.EvWaitExit, c.cur.sdepth) {
+		w.emit(trace.Event{Type: trace.EvWaitExit, Time: now(),
+			Task: c.cur.seq, Job: c.cur.jobID(), Depth: int32(g.childDepth)}, c.cur.sdepth)
 	}
 
 	if g.node != nil {

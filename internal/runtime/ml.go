@@ -9,16 +9,15 @@ import (
 // traceBoundary records a multi-level boundary crossing (tie/flatten and
 // their teardowns) for worker w over domain d at cache level `level`.
 func (p *Pool) traceBoundary(w *worker, kind int32, d *domain, level int) {
-	tr := p.tracer
-	if tr == nil {
+	if !w.wantEv(trace.EvBoundary, int32(level)) {
 		return
 	}
 	var id int64
 	if d != nil {
 		id = d.id
 	}
-	tr.Record(w.id, trace.Event{Type: trace.EvBoundary, Time: now(),
-		Victim: kind, Depth: int32(level), Task: id})
+	w.emit(trace.Event{Type: trace.EvBoundary, Time: now(),
+		Victim: kind, Depth: int32(level), Task: id}, int32(level))
 }
 
 // initTopology builds the root domain and, for multi-level policies, the

@@ -217,6 +217,9 @@ func (p *Pool) wakeForRoot(e *entity) {
 // a wakeup, a cancellation, or shutdown.
 func (w *worker) park(g *taskGroup, minDepth int) *task {
 	p := w.pool
+	// The worker is going idle: clear the live-introspection current job so
+	// /debug/sched and the watchdog stop attributing runtime to it.
+	w.curJob.Store(0)
 	if g != nil {
 		g.waiter.Store(int32(w.id))
 	}
@@ -231,9 +234,8 @@ func (w *worker) park(g *taskGroup, minDepth int) *task {
 		p.parkCancel(w)
 		return t
 	}
-	tr := p.tracer
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvPark, Time: now()})
+	if w.wantEv(trace.EvPark, 0) {
+		w.emit(trace.Event{Type: trace.EvPark, Time: now()}, 0)
 	}
 	m := p.metrics
 	var parkStart int64
@@ -252,8 +254,8 @@ func (w *worker) park(g *taskGroup, minDepth int) *task {
 		m.Park.Record(w.id, wokeAt-parkStart)
 		w.wakeAt = wokeAt
 	}
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvWake, Time: now()})
+	if w.wantEv(trace.EvWake, 0) {
+		w.emit(trace.Event{Type: trace.EvWake, Time: now()}, 0)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/parlab/adws/internal/obs"
 	"github.com/parlab/adws/internal/sched"
 	"github.com/parlab/adws/internal/topology"
 	"github.com/parlab/adws/internal/trace"
@@ -86,6 +87,12 @@ type Config struct {
 	// latencies. Its histograms must have at least one shard per worker.
 	// A nil Metrics costs one pointer check per site, like the Tracer.
 	Metrics *Metrics
+	// Flight, if non-nil, is the always-on flight recorder: it receives
+	// the same events as the Tracer but filtered by its type mask and
+	// depth limit (obs.Recorder.Wants), checked BEFORE the event — and
+	// its timestamp — is built. It must have at least as many rings as
+	// the pool has workers. Nil costs one pointer check per site.
+	Flight *obs.Recorder
 }
 
 // Pool is a running worker pool.
@@ -99,7 +106,11 @@ type Pool struct {
 	// metrics is nil unless latency recording was requested; same
 	// one-pointer-check contract as the tracer.
 	metrics *Metrics
-	// taskSeq issues task creation ordinals, only when tracing.
+	// flight is nil unless a flight recorder was attached; obs.Recorder
+	// methods are nil-receiver-safe, so sites gate on flight.Wants alone.
+	flight *obs.Recorder
+	// taskSeq issues task creation ordinals, only when tracing or when
+	// the flight recorder keeps the task's span events.
 	taskSeq atomic.Int64
 
 	workers []*worker
@@ -218,6 +229,11 @@ type task struct {
 	depth       int
 	inMigration bool
 	crossWorker bool
+	// sdepth is the spawn-tree depth (root = 0, each Spawn adds one).
+	// The scheduler's group depth above saturates for worker-local work,
+	// so the flight recorder's task-span depth filter keys on this
+	// instead; it costs one add per spawn and is policy-independent.
+	sdepth int32
 	// seq is the task's creation ordinal, assigned only when tracing.
 	seq int64
 	// job is the root job this task descends from (nil only for internal
@@ -293,11 +309,15 @@ func NewPool(cfg Config) *Pool {
 		cfg.Machine = topology.Flat(gort.GOMAXPROCS(0), 32<<20, 1<<20)
 	}
 	p := &Pool{cfg: cfg, machine: cfg.Machine, policy: cfg.Policy,
-		tracer: cfg.Tracer, metrics: cfg.Metrics}
+		tracer: cfg.Tracer, metrics: cfg.Metrics, flight: cfg.Flight}
 	n := cfg.Machine.NumWorkers()
 	if p.tracer != nil && p.tracer.NumWorkers() < n {
 		panic(fmt.Sprintf("runtime: tracer has %d worker rings, pool needs %d",
 			p.tracer.NumWorkers(), n))
+	}
+	if p.flight != nil && p.flight.NumWorkers() < n {
+		panic(fmt.Sprintf("runtime: flight recorder has %d worker rings, pool needs %d",
+			p.flight.NumWorkers(), n))
 	}
 	if p.metrics != nil {
 		p.metrics.checkShards(n)
@@ -409,7 +429,7 @@ func (p *Pool) SubmitRoot(fn func(*Ctx), lo, hi float64) (*RootJob, error) {
 		rng: rng,
 		job: j,
 	}
-	if p.tracer != nil {
+	if p.tracer != nil || p.flight.Wants(trace.EvTaskBegin, 0) {
 		root.seq = p.taskSeq.Add(1)
 	}
 	p.rootMu.Lock()
@@ -560,6 +580,13 @@ type worker struct {
 
 	// execDepth tracks nested execution via helping waits (owner-only).
 	execDepth int
+	// curJob and curStart are the live-introspection pair read lock-free
+	// by Pool.SchedSnapshot: the root-job ordinal of the task the worker
+	// is running and when it began running that job continuously
+	// (monotonic ns). The owner stores them only on job CHANGES (and
+	// clears curJob before parking), so per-task cost is one predicted
+	// load+compare.
+	curJob, curStart atomic.Int64
 	// idleSince marks the start of the current idle stretch (monotonic
 	// ns), or 0 when not idle. Only the owning worker writes it.
 	idleSince int64
@@ -619,6 +646,34 @@ func (w *worker) loop(pin bool) {
 	}
 }
 
+// wantEv reports whether an event of type t at filter depth fd should
+// be built at all: the tracer takes everything, the flight recorder
+// takes what its filter passes. Sites call it BEFORE constructing the
+// event so a filtered event never reads the clock. For task spans and
+// waits fd is the SPAWN depth (task.sdepth), not the event's group
+// depth — group depth saturates for worker-local work and would let
+// every microtask through the recorder; fd is irrelevant for the
+// always-kept types.
+//
+//adws:hotpath
+func (w *worker) wantEv(t trace.EventType, fd int32) bool {
+	return w.pool.tracer != nil || w.pool.flight.Wants(t, fd)
+}
+
+// emit records one event to the tracer and, when the flight filter
+// passes its type at filter depth fd, to the flight recorder. Callers
+// must have checked wantEv with the same type and fd.
+//
+//adws:hotpath
+func (w *worker) emit(ev trace.Event, fd int32) {
+	if tr := w.pool.tracer; tr != nil {
+		tr.Record(w.id, ev)
+	}
+	if fl := w.pool.flight; fl.Wants(ev.Type, fd) {
+		fl.Record(w.id, ev)
+	}
+}
+
 // execute runs one task to completion.
 func (w *worker) execute(t *task) {
 	w.stats.tasks.Add(1)
@@ -629,18 +684,21 @@ func (w *worker) execute(t *task) {
 	var start int64
 	if w.execDepth == 1 {
 		start = now()
+		if j := t.jobID(); j != w.curJob.Load() {
+			w.curJob.Store(j)
+			w.curStart.Store(start)
+		}
 	}
-	tr := w.pool.tracer
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvTaskBegin, Time: now(),
+	if w.wantEv(trace.EvTaskBegin, t.sdepth) {
+		w.emit(trace.Event{Type: trace.EvTaskBegin, Time: now(),
 			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth),
-			RangeLo: t.rng.X, RangeHi: t.rng.Y})
+			RangeLo: t.rng.X, RangeHi: t.rng.Y}, t.sdepth)
 	}
 	c := &Ctx{pool: w.pool, w: w, cur: t}
 	t.fn(c)
-	if tr != nil {
-		tr.Record(w.id, trace.Event{Type: trace.EvTaskEnd, Time: now(),
-			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth)})
+	if w.wantEv(trace.EvTaskEnd, t.sdepth) {
+		w.emit(trace.Event{Type: trace.EvTaskEnd, Time: now(),
+			Task: t.seq, Job: t.jobID(), Depth: int32(t.depth)}, t.sdepth)
 	}
 	if w.execDepth == 1 {
 		w.stats.busyNS.Add(now() - start)

@@ -573,6 +573,30 @@ func (s *Server) InFlight() (queued, running int) {
 	return len(s.queue), s.running
 }
 
+// OldestQueueAge returns how long the oldest still-admissible queued job
+// has been waiting (expired entries reaped first), zero when the queue
+// is empty. It is a watchdog signal: a growing oldest-age with idle or
+// stalled workers distinguishes a scheduler stall from a mere burst.
+func (s *Server) OldestQueueAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapExpiredLocked()
+	if len(s.queue) == 0 {
+		return 0
+	}
+	oldest := s.queue[0].submitted
+	for _, j := range s.queue[1:] {
+		if j.submitted.Before(oldest) {
+			oldest = j.submitted
+		}
+	}
+	age := time.Since(oldest)
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
 // Classes returns the configured priority-class list, highest priority
 // first.
 func (s *Server) Classes() []string {

@@ -11,6 +11,12 @@
 // pool or engine is quiescent — after Run returned and, for the real
 // runtime, typically after Close.
 //
+// Cut and CutWorker are the exception: they detach a ring's storage by
+// atomically swapping in a fresh frame and read only the retired one, so
+// a flight-recorder dump can take a consistent snapshot while the pool
+// keeps running, at the cost of losing at most one in-flight event per
+// worker per cut (see ring.cut for the protocol).
+//
 // Timestamps are monotonic nanoseconds in the real runtime. The simulator
 // records virtual time scaled by 1000 (millivirtual units) so sub-unit
 // cost-model resolution survives the integer conversion.
@@ -18,6 +24,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -147,45 +154,115 @@ type Event struct {
 	RangeLo, RangeHi float64
 }
 
+// frame is one generation of a ring's storage. base is the ordinal of
+// the first event the frame may hold: earlier ordinals lived in frames
+// that a previous cut retired. The recording worker never reads base;
+// cut/snapshot/drops read and write it only under the tracer's mutex.
+type frame struct {
+	base int64
+	ev   []Event
+}
+
 // ring is one worker's event buffer. Only the owning worker writes;
-// cursor counts every event ever recorded, so the occupied window is
-// [max(0, cursor-cap), cursor). The cursor owns a full cache line and the
-// struct is padded to a whole number of lines, so in the tracer's rings
-// slice no worker's cursor store can invalidate a neighbour's cursor or
-// buffer header (layout enforced by adwsvet's atomicpad analyzer).
+// cursor counts every event ever recorded, so the occupied window of the
+// live frame is [max(base, cursor-cap), cursor). Storage is reached
+// through an atomic frame pointer so a reader can cut the ring — swap in
+// a fresh frame and walk the retired one — while the worker keeps
+// recording. The cursor owns a full cache line and the struct is padded
+// to a whole number of lines, so in the tracer's rings slice no worker's
+// cursor store can invalidate a neighbour's cursor or frame pointer
+// (layout enforced by adwsvet's atomicpad analyzer).
 //
 //adws:padded
 type ring struct {
 	cursor atomic.Int64 //adws:padded
 	_      [56]byte
-	buf    []Event
-	_      [40]byte
+	buf    atomic.Pointer[frame]
+	_      [56]byte
+	// lost counts events wrapped away in frames that cuts retired;
+	// guarded by the tracer's mutex (cuts never touch the hot path).
+	lost int64
+	_    [56]byte
 }
 
+// record appends one event. The frame double-check makes recording safe
+// against a concurrent cut: if the frame was swapped between the load
+// and the slot write, the event is redone into the live frame so it is
+// not stranded in the retired one. Release/acquire through cursor is
+// what publishes the slot write to the cutter.
+//
+//adws:hotpath
 func (r *ring) record(ev Event) {
 	c := r.cursor.Load()
-	r.buf[c%int64(len(r.buf))] = ev
+	f := r.buf.Load()
+	f.ev[c%int64(len(f.ev))] = ev
+	if f2 := r.buf.Load(); f2 != f {
+		f2.ev[c%int64(len(f2.ev))] = ev
+	}
 	r.cursor.Store(c + 1)
 }
 
-func (r *ring) drops() int64 {
-	if d := r.cursor.Load() - int64(len(r.buf)); d > 0 {
-		return d
-	}
-	return 0
-}
-
-// snapshot returns the ring's surviving events, oldest first.
-func (r *ring) snapshot() []Event {
+// cut retires the ring's current frame and returns its surviving events,
+// oldest first, while the owning worker may keep recording. Correctness
+// of the swap: the cursor is read AFTER installing the fresh frame, so
+// every ordinal below it was fully published (its cursor store
+// happened-before our load) and lives in the retired frame. Only the one
+// ordinal equal to the cursor can be mid-record; it may land in either
+// frame, may have clobbered the retired frame's slot it maps to, and is
+// therefore excluded from the retired window AND from the fresh frame's
+// base — a cut loses at most that one event per ring. Callers must hold
+// the tracer's mutex (cuts are serialized; the writer is not).
+func (r *ring) cut() []Event {
+	old := r.buf.Load()
+	fresh := &frame{ev: make([]Event, len(old.ev))}
+	r.buf.Store(fresh)
 	c := r.cursor.Load()
-	n := int64(len(r.buf))
-	start := int64(0)
-	if c > n {
-		start = c - n
+	fresh.base = c + 1
+	n := int64(len(old.ev))
+	start := old.base
+	// Skip the slot ordinal c maps to: its previous resident (ordinal
+	// c-n) may be mid-overwrite by the in-flight record.
+	if s := c + 1 - n; s > start {
+		start = s
+	}
+	// base may sit one past the cursor (the previous cut excluded an
+	// in-flight ordinal that was never completed): an empty window, not a
+	// negative one.
+	if start > c {
+		start = c
 	}
 	out := make([]Event, 0, c-start)
 	for i := start; i < c; i++ {
-		out = append(out, r.buf[i%n])
+		out = append(out, old.ev[i%n])
+	}
+	if lost := start - old.base; lost > 0 {
+		r.lost += lost
+	}
+	return out
+}
+
+func (r *ring) drops() int64 {
+	f := r.buf.Load()
+	d := r.lost
+	if o := r.cursor.Load() - f.base - int64(len(f.ev)); o > 0 {
+		d += o
+	}
+	return d
+}
+
+// snapshot returns the ring's surviving events, oldest first. Quiescent
+// readers only.
+func (r *ring) snapshot() []Event {
+	f := r.buf.Load()
+	c := r.cursor.Load()
+	n := int64(len(f.ev))
+	start := f.base
+	if s := c - n; s > start {
+		start = s
+	}
+	out := make([]Event, 0, c-start)
+	for i := start; i < c; i++ {
+		out = append(out, f.ev[i%n])
 	}
 	return out
 }
@@ -196,6 +273,9 @@ const DefaultCapacity = 1 << 18
 // Tracer records scheduler events into per-worker ring buffers.
 type Tracer struct {
 	rings []ring
+	// mu serializes cuts and the reader-side frame bookkeeping (base,
+	// lost). Recording never takes it.
+	mu sync.Mutex
 }
 
 // New creates a tracer for `workers` workers with `capacity` events per
@@ -209,7 +289,7 @@ func New(workers, capacity int) *Tracer {
 	}
 	t := &Tracer{rings: make([]ring, workers)}
 	for i := range t.rings {
-		t.rings[i].buf = make([]Event, capacity)
+		t.rings[i].buf.Store(&frame{ev: make([]Event, capacity)})
 	}
 	return t
 }
@@ -218,7 +298,7 @@ func New(workers, capacity int) *Tracer {
 func (t *Tracer) NumWorkers() int { return len(t.rings) }
 
 // Capacity returns the per-worker ring capacity.
-func (t *Tracer) Capacity() int { return len(t.rings[0].buf) }
+func (t *Tracer) Capacity() int { return len(t.rings[0].buf.Load().ev) }
 
 // Record appends an event to worker w's ring, overwriting the oldest event
 // when full. It is the hot path: no locks, one atomic cursor update. Only
@@ -231,8 +311,11 @@ func (t *Tracer) Record(w int, ev Event) {
 }
 
 // Drops returns the total number of events overwritten by ring wraparound
-// across all workers. It only grows.
+// across all workers. It only grows. Cuts may additionally skip up to one
+// in-flight event per worker per cut; those are not counted.
 func (t *Tracer) Drops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var d int64
 	for i := range t.rings {
 		d += t.rings[i].drops()
@@ -241,12 +324,21 @@ func (t *Tracer) Drops() int64 {
 }
 
 // WorkerDrops returns worker w's overwritten-event count.
-func (t *Tracer) WorkerDrops(w int) int64 { return t.rings[w].drops() }
+func (t *Tracer) WorkerDrops(w int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rings[w].drops()
+}
 
-// Reset discards all recorded events and drop counts.
+// Reset discards all recorded events and drop counts. The tracer must be
+// quiescent.
 func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := range t.rings {
 		t.rings[i].cursor.Store(0)
+		t.rings[i].buf.Store(&frame{ev: make([]Event, len(t.rings[i].buf.Load().ev))})
+		t.rings[i].lost = 0
 	}
 }
 
@@ -254,10 +346,38 @@ func (t *Tracer) Reset() {
 // timestamp (stable: each worker's own order is preserved). The tracer
 // must be quiescent.
 func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out []Event
 	for i := range t.rings {
 		out = append(out, t.rings[i].snapshot()...)
 	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// CutWorker atomically detaches worker w's buffered events and returns
+// them oldest first, leaving the ring empty. Unlike Events it is safe
+// while the traced pool runs: the worker's in-flight record (at most one
+// event) is the only event a cut can lose. Cutting is destructive — the
+// returned events are no longer in the ring.
+func (t *Tracer) CutWorker(w int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rings[w].cut()
+}
+
+// Cut cuts every worker's ring and returns the merged, time-sorted
+// events — the flight-recorder dump primitive. Like CutWorker it is safe
+// and destructive while the pool runs, losing at most one in-flight
+// event per worker.
+func (t *Tracer) Cut() []Event {
+	t.mu.Lock()
+	var out []Event
+	for i := range t.rings {
+		out = append(out, t.rings[i].cut()...)
+	}
+	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
 }

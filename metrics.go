@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/parlab/adws/internal/metrics"
+	"github.com/parlab/adws/internal/obs"
 	"github.com/parlab/adws/internal/runtime"
 	"github.com/parlab/adws/internal/server"
 )
@@ -117,6 +118,24 @@ func registerPoolMetrics(reg *metrics.Registry, p *Pool) {
 		get(func() float64 { return float64(ctrs.Failed) }))
 	reg.CounterFunc("adws_jobs_canceled_total", "Jobs canceled before or while running.",
 		get(func() float64 { return float64(ctrs.Canceled) }))
+	if wd := p.wd; wd != nil {
+		reasons := obs.Reasons()
+		reg.CounterVecFunc("adws_watchdog_triggers_total",
+			"Watchdog firings by reason (worker_stall, deadline_burst, slo_burn).",
+			"reason", func() []metrics.Labeled {
+				t := wd.Triggers()
+				out := make([]metrics.Labeled, len(reasons))
+				for i, r := range reasons {
+					out[i] = metrics.Labeled{Label: r, Value: float64(t[r])}
+				}
+				return out
+			})
+	}
+	if fr := p.flight; fr != nil {
+		reg.CounterFunc("adws_flight_recorder_drops_total",
+			"Flight-recorder events lost to ring wraparound (its normal steady state).",
+			func() float64 { return float64(fr.Drops()) })
+	}
 
 	// Per-priority-class breakdown. The class list is fixed at pool
 	// creation, so the label sets are stable across renders; the Jain

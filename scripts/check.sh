@@ -19,16 +19,29 @@
 #      One iteration of every benchmark, so a refactor that breaks a
 #      benchmark harness (or deadlocks the parked-pool submit path) fails
 #      here instead of at measurement time.
-#   7. scripts/bench.sh -smoke                       trajectory smoke
+#   7. ADWS_BENCH_SMOKE=1 flight-recorder overhead gate
+#      Measures the spawn-heavy tree with and without the always-on
+#      flight recorder (internal/runtime TestFlightOverheadSmoke) and
+#      fails if the recorder-on run exceeds a generous 1.5x budget; the
+#      precise <=3% acceptance numbers live in results/flight_recorder.txt.
+#   8. scripts/bench.sh -smoke                       trajectory smoke
 #      Schema-checks every committed BENCH_*.json perf-trajectory point
 #      and does one tiny adwsload run whose /metrics exposition is
 #      re-parsed with the strict internal parser, so a registry change
 #      that breaks scrapes or the committed trajectory fails here.
 #
+# Watchdog flight-recorder dumps written during the run (any test whose
+# watchdog fires without an explicit DumpDir) land in $ADWS_FR_DIR,
+# defaulting to ./fr-dumps here so CI can upload them as artifacts when
+# a step fails.
+#
 # Usage: scripts/check.sh   (from the repo root, or anywhere inside it)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+export ADWS_FR_DIR="${ADWS_FR_DIR:-$PWD/fr-dumps}"
+mkdir -p "$ADWS_FR_DIR"
 
 echo "==> gofmt -l ."
 fmt_out=$(gofmt -l .)
@@ -51,6 +64,9 @@ go test -race ./internal/runtime/... ./internal/trace/... ./internal/server/... 
 
 echo "==> go test -run='^\$' -bench=. -benchtime=1x ./...   (benchmark smoke)"
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "==> ADWS_BENCH_SMOKE=1 flight-recorder overhead gate"
+ADWS_BENCH_SMOKE=1 go test ./internal/runtime/ -run TestFlightOverheadSmoke -count=1
 
 scripts/bench.sh -smoke
 
