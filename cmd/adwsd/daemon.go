@@ -116,7 +116,7 @@ type daemon struct {
 	// daemons.
 	traceMetrics bool
 
-	mu    sync.Mutex
+	mu    sync.Mutex       //adws:lockrank(10) top of the whole order: handlers fan out into everything
 	names map[int64]string // cluster job id -> workload name
 	start time.Time
 }

@@ -4,12 +4,21 @@
 //
 // Usage:
 //
-//	adwsvet [-list] [-only name[,name]] [packages ...]
+//	adwsvet [-list] [-only name[,name]] [-format text|json|sarif]
+//	        [-baseline file] [-writebaseline file] [packages ...]
 //
-// With no packages it analyzes ./..., mirroring go vet. Diagnostics are
-// printed one per line as file:line:col: [analyzer] message, and the exit
-// status is 1 when any were found. See docs/LINT.md for the analyzer
-// catalogue and the //adws: directive grammar.
+// With no packages it analyzes ./..., mirroring go vet. The default text
+// format prints one diagnostic per line as file:line:col: [analyzer]
+// message; -format json emits a machine-readable array and -format sarif
+// a SARIF 2.1.0 log for CI upload (both with module-relative paths).
+//
+// A -baseline file (written with -writebaseline) grandfathers existing
+// findings: baselined diagnostics are still printed in text mode as
+// "baselined" but do not affect the exit status, and are dropped from
+// json/sarif output entirely. The exit status is 1 when any
+// non-baselined diagnostics were found. See docs/LINT.md for the
+// analyzer catalogue, the //adws: directive grammar, and the baseline
+// workflow.
 package main
 
 import (
@@ -24,8 +33,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file: suppress the findings recorded in it")
+	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: adwsvet [-list] [-only name[,name]] [packages ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: adwsvet [-list] [-only name[,name]] [-format text|json|sarif] [-baseline file] [-writebaseline file] [packages ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +48,10 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "adwsvet: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 	analyzers := all
 	if *only != "" {
@@ -65,11 +81,59 @@ func main() {
 		os.Exit(2)
 	}
 	diags := u.Run(analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	baseDir := loader.ModuleDir()
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+			os.Exit(2)
+		}
+		werr := lint.NewBaseline(diags, baseDir).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "adwsvet: writing baseline: %v\n", werr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "adwsvet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "adwsvet: %d violation(s)\n", len(diags))
+
+	fresh := diags
+	baselined := 0
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+			os.Exit(2)
+		}
+		fresh = b.Filter(diags, baseDir)
+		baselined = len(diags) - len(fresh)
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, fresh, baseDir); err != nil {
+			fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+			os.Exit(2)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, fresh, baseDir); err != nil {
+			fmt.Fprintf(os.Stderr, "adwsvet: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+		if baselined > 0 {
+			fmt.Fprintf(os.Stderr, "adwsvet: %d baselined finding(s) suppressed\n", baselined)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "adwsvet: %d violation(s)\n", len(fresh))
 		os.Exit(1)
 	}
 }

@@ -140,7 +140,7 @@ type Cluster struct {
 	router Router
 	retain int
 
-	mu     sync.Mutex
+	mu     sync.Mutex     //adws:lockrank(20) outermost of the submit path: nests over server.mu
 	last   map[string]int // key -> pool that last ran it (for Verdict)
 	counts []RouteCounts  // per pool
 	idSeq  int64

@@ -16,6 +16,9 @@ type ring[T any] struct {
 }
 
 func newRing[T any](capacity int64) *ring[T] {
+	// Ring doubling is amortized O(1) per push and off the steady state:
+	// once the ring fits the peak task count it never allocates again.
+	//adws:allow amortized growth (docs/LINT.md hotalloc policy)
 	return &ring[T]{mask: capacity - 1, buf: make([]atomic.Pointer[T], capacity)}
 }
 

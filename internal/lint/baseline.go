@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A baseline grandfathers known findings so the suite can gate on new
+// violations while legacy ones are burned down. Entries are keyed by
+// (analyzer, module-relative file, message) and deliberately NOT by line
+// number: unrelated edits move lines constantly, and a baseline that
+// churns on every edit gets blindly regenerated instead of reviewed.
+// The flip side — a second, distinct instance of an already-baselined
+// (analyzer, file, message) triple is also suppressed — is acceptable
+// for a burn-down list.
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is a set of grandfathered findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline builds a baseline from current findings, paths relative to
+// baseDir.
+func NewBaseline(diags []Diagnostic, baseDir string) *Baseline {
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(diags))}
+	seen := make(map[BaselineEntry]bool)
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(baseDir, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if !seen[e] {
+			seen[e] = true
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	b.sort()
+	return b
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write emits the baseline deterministically (sorted, indented, trailing
+// newline) so regeneration diffs stay reviewable.
+func (b *Baseline) Write(w io.Writer) error {
+	b.sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter returns the diagnostics not covered by the baseline.
+func (b *Baseline) Filter(diags []Diagnostic, baseDir string) []Diagnostic {
+	member := make(map[BaselineEntry]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		member[e] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(baseDir, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if !member[e] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (b *Baseline) sort() {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+}

@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // hotpathAnalyzer enforces the low-synchronization property on the
@@ -28,122 +27,50 @@ var hotpathAnalyzer = &Analyzer{
 }
 
 func runHotpath(u *Universe) []Diagnostic {
-	u.buildFuncIndex()
-	c := &hotpathChecker{
-		u:        u,
-		checked:  make(map[*types.Func][]hotpathViolation),
-		visiting: make(map[*types.Func]bool),
-		reported: make(map[token.Pos]bool),
-	}
-	for _, p := range u.Targets {
-		for _, f := range p.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || !hasDirective("hotpath", fd.Doc) {
-					continue
-				}
-				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				for _, v := range c.check(fn) {
-					if c.reported[v.pos] {
-						continue
-					}
-					c.reported[v.pos] = true
-					msg := v.what
-					if len(v.chain) > 0 {
-						msg = fmt.Sprintf("%s (reached via %s)", v.what,
-							strings.Join(append([]string{funcDisplayName(fn)}, v.chain...), " -> "))
-					}
-					c.diags = append(c.diags, Diagnostic{
-						Pos:      u.position(v.pos),
-						Analyzer: "hotpath",
-						Message:  fmt.Sprintf("hot path %s: %s", funcDisplayName(fn), msg),
-					})
-				}
-			}
-		}
-	}
-	return c.diags
-}
-
-// hotpathViolation is one banned construct reachable from a hot function.
-type hotpathViolation struct {
-	pos   token.Pos
-	what  string
-	chain []string // callee names from the hot root down to the violation
-}
-
-type hotpathChecker struct {
-	u        *Universe
-	checked  map[*types.Func][]hotpathViolation
-	visiting map[*types.Func]bool
-	reported map[token.Pos]bool
-	diags    []Diagnostic
-}
-
-// check returns the violations reachable from fn, memoized per function.
-func (c *hotpathChecker) check(fn *types.Func) []hotpathViolation {
-	fn = fn.Origin()
-	if vs, ok := c.checked[fn]; ok {
-		return vs
-	}
-	if c.visiting[fn] { // recursion cycle: already accounted for
-		return nil
-	}
-	fd := c.u.lookupFunc(fn)
-	if fd == nil || fd.decl.Body == nil {
-		return nil // outside the module or a bodyless (assembly) stub
-	}
-	c.visiting[fn] = true
-	var out []hotpathViolation
-	info := fd.pkg.Info
-	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+	w := newBodyWalker(u, func(p *Package, n ast.Node) ([]violation, bool) {
+		info := p.Info
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			// Closures are values, not necessarily executed on the hot
 			// path; they are not followed (see analyzer doc).
-			return false
+			return nil, false
 		case *ast.DeferStmt:
-			out = append(out, hotpathViolation{pos: n.Pos(), what: "defer is not allowed"})
+			return []violation{{pos: n.Pos(), what: "defer is not allowed"}}, true
 		case *ast.SendStmt:
-			if !c.u.allowed(n.Pos()) {
-				out = append(out, hotpathViolation{pos: n.Pos(),
-					what: "channel send (use //adws:allow only for the one-slot wake channel)"})
+			if !u.allowed(n.Pos()) {
+				return []violation{{pos: n.Pos(),
+					what: "channel send (use //adws:allow only for the one-slot wake channel)"}}, true
 			}
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && !c.u.allowed(n.Pos()) {
-				out = append(out, hotpathViolation{pos: n.Pos(),
-					what: "channel receive (use //adws:allow only for the one-slot wake channel)"})
+			if n.Op == token.ARROW && !u.allowed(n.Pos()) {
+				return []violation{{pos: n.Pos(),
+					what: "channel receive (use //adws:allow only for the one-slot wake channel)"}}, true
 			}
 		case *ast.SelectStmt:
-			if !c.u.allowed(n.Pos()) {
-				out = append(out, hotpathViolation{pos: n.Pos(), what: "select statement"})
+			if !u.allowed(n.Pos()) {
+				return []violation{{pos: n.Pos(), what: "select statement"}}, true
 			}
 		case *ast.RangeStmt:
 			if t := info.Types[n.X].Type; t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok && !c.u.allowed(n.Pos()) {
-					out = append(out, hotpathViolation{pos: n.Pos(), what: "range over channel"})
+				if _, ok := t.Underlying().(*types.Chan); ok && !u.allowed(n.Pos()) {
+					return []violation{{pos: n.Pos(), what: "range over channel"}}, true
 				}
 			}
 		case *ast.CallExpr:
-			out = append(out, c.checkCall(info, n)...)
+			return checkHotpathCall(u, info, n), true
 		}
-		return true
+		return nil, true
 	})
-	delete(c.visiting, fn)
-	c.checked[fn] = out
-	return out
+	return runTransitive(u, "hotpath", "hotpath", w)
 }
 
-// checkCall classifies one call site: banned stdlib calls report here,
-// module-local callees are checked recursively.
-func (c *hotpathChecker) checkCall(info *types.Info, call *ast.CallExpr) []hotpathViolation {
+// checkHotpathCall classifies one call site against the banned stdlib
+// constructs (module-local callees are followed by the shared walker).
+func checkHotpathCall(u *Universe, info *types.Info, call *ast.CallExpr) []violation {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
-			if b.Name() == "close" && !c.u.allowed(call.Pos()) {
-				return []hotpathViolation{{pos: call.Pos(), what: "close on channel"}}
+			if b.Name() == "close" && !u.allowed(call.Pos()) {
+				return []violation{{pos: call.Pos(), what: "close on channel"}}
 			}
 			return nil
 		}
@@ -154,27 +81,17 @@ func (c *hotpathChecker) checkCall(info *types.Info, call *ast.CallExpr) []hotpa
 	}
 	switch path := fn.Pkg().Path(); {
 	case path == "time" && fn.Name() == "Sleep":
-		return []hotpathViolation{{pos: call.Pos(), what: "calls time.Sleep"}}
+		return []violation{{pos: call.Pos(), what: "calls time.Sleep"}}
 	case path == "fmt":
-		return []hotpathViolation{{pos: call.Pos(), what: "calls fmt." + fn.Name()}}
+		return []violation{{pos: call.Pos(), what: "calls fmt." + fn.Name()}}
 	case path == "sync":
 		if recv := recvTypeName(fn); (recv == "Mutex" || recv == "RWMutex") &&
 			(fn.Name() == "Lock" || fn.Name() == "RLock" || fn.Name() == "TryLock" || fn.Name() == "TryRLock") {
-			return []hotpathViolation{{pos: call.Pos(),
+			return []violation{{pos: call.Pos(),
 				what: fmt.Sprintf("locks sync.%s (%s)", recv, fn.Name())}}
 		}
-		return nil
 	}
-	if c.u.lookupFunc(fn) == nil {
-		return nil // other stdlib calls are fine
-	}
-	// Module-local callee: everything it can reach is on the hot path too.
-	var out []hotpathViolation
-	for _, v := range c.check(fn) {
-		chain := append([]string{funcDisplayName(fn)}, v.chain...)
-		out = append(out, hotpathViolation{pos: v.pos, what: v.what, chain: chain})
-	}
-	return out
+	return nil
 }
 
 // recvTypeName returns the name of fn's receiver type, "" for plain

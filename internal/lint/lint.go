@@ -4,7 +4,7 @@
 // go.mod stays dependency-free; package discovery is driven by
 // `go list -json` (see load.go).
 //
-// Four analyzers ship today, each enforcing one invariant that previously
+// Seven analyzers ship today, each enforcing one invariant that previously
 // lived in review-only convention (see docs/LINT.md for the full policy):
 //
 //   - hotpath: functions annotated //adws:hotpath must not, transitively
@@ -19,11 +19,22 @@
 //     constants or carry an explicit default clause.
 //   - lockedby: fields annotated //adws:locked(mu) may only be accessed in
 //     functions that lock mu or are annotated //adws:requires(mu).
+//   - atomiconly: a variable accessed through sync/atomic anywhere in the
+//     module, or a value of an atomic-containing type, must never be read
+//     or written plainly outside its constructor (//adws:plainread is the
+//     documented escape hatch).
+//   - lockorder: the program-wide mutex acquisition graph — built from
+//     Lock/Unlock call sites plus //adws:requires facts — must follow the
+//     ranks declared by //adws:lockrank(n) and contain no cycles.
+//   - hotalloc: //adws:hotpath functions must not, transitively, heap-
+//     allocate: new/make, composite literals, closures, escaping appends
+//     and interface boxing are flagged.
 //
 // Directive grammar: a directive is a //-comment whose text (after "//",
 // no space) starts with "adws:", attached to the declaration it governs
-// (function doc, field doc or trailing comment, type doc) — or, for
-// //adws:allow, placed on the offending line or the line directly above.
+// (function doc, field doc or trailing comment, type doc) — or, for the
+// line-scoped directives //adws:allow and //adws:plainread, placed on the
+// offending line or the line directly above.
 package lint
 
 import (
@@ -55,7 +66,15 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{hotpathAnalyzer, atomicpadAnalyzer, evexhaustiveAnalyzer, lockedbyAnalyzer}
+	return []*Analyzer{
+		hotpathAnalyzer,
+		atomicpadAnalyzer,
+		evexhaustiveAnalyzer,
+		lockedbyAnalyzer,
+		atomiconlyAnalyzer,
+		lockorderAnalyzer,
+		hotallocAnalyzer,
+	}
 }
 
 // Package is one type-checked package under analysis.
@@ -78,8 +97,10 @@ type Universe struct {
 	// keyed by import path; transitive analyses index into it.
 	Module map[string]*Package
 
-	funcDecls  map[*types.Func]*funcDecl
-	allowLines map[string]map[int]bool
+	funcDecls map[*types.Func]*funcDecl
+	// lineDirs indexes line-scoped directives (allow, plainread):
+	// directive name -> filename -> line carrying it.
+	lineDirs map[string]map[string]map[int]bool
 }
 
 // funcDecl pairs a function declaration with the package it lives in.
@@ -174,26 +195,28 @@ func (u *Universe) position(pos token.Pos) token.Position {
 	return u.Fset.Position(pos)
 }
 
-// buildAllowIndex records, per file, the lines carrying an //adws:allow
-// comment. A node is "allowed" when its line or the line directly above
-// carries the escape hatch.
-func (u *Universe) buildAllowIndex() {
-	if u.allowLines != nil {
+// buildLineIndex records, per directive name and file, the lines carrying
+// a line-scoped //adws:<name> comment. A node is governed by such a
+// directive when its line or the line directly above carries it.
+func (u *Universe) buildLineIndex() {
+	if u.lineDirs != nil {
 		return
 	}
-	u.allowLines = make(map[string]map[int]bool)
+	u.lineDirs = make(map[string]map[string]map[int]bool)
 	for _, p := range u.Module {
 		for _, f := range p.Files {
 			for _, g := range f.Comments {
-				for _, c := range g.List {
-					if !strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "adws:allow") {
-						continue
+				for _, d := range parseDirectives(g) {
+					pos := u.position(d.pos)
+					files := u.lineDirs[d.name]
+					if files == nil {
+						files = make(map[string]map[int]bool)
+						u.lineDirs[d.name] = files
 					}
-					pos := u.position(c.Pos())
-					m := u.allowLines[pos.Filename]
+					m := files[pos.Filename]
 					if m == nil {
 						m = make(map[int]bool)
-						u.allowLines[pos.Filename] = m
+						files[pos.Filename] = m
 					}
 					m[pos.Line] = true
 				}
@@ -202,13 +225,19 @@ func (u *Universe) buildAllowIndex() {
 	}
 }
 
+// lineDirective reports whether pos sits on (or directly under) a line
+// carrying //adws:<name>.
+func (u *Universe) lineDirective(name string, pos token.Pos) bool {
+	u.buildLineIndex()
+	p := u.position(pos)
+	m := u.lineDirs[name][p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
 // allowed reports whether pos sits on (or directly under) an //adws:allow
 // line.
 func (u *Universe) allowed(pos token.Pos) bool {
-	u.buildAllowIndex()
-	p := u.position(pos)
-	m := u.allowLines[p.Filename]
-	return m != nil && (m[p.Line] || m[p.Line-1])
+	return u.lineDirective("allow", pos)
 }
 
 // buildFuncIndex maps every module function object to its declaration so

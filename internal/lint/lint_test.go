@@ -18,14 +18,21 @@ import (
 // and every pattern must match a diagnostic on its line. Packages under
 // .../good/ carry no wants and must stay clean.
 func TestAnalyzersGolden(t *testing.T) {
+	// The hotpath and hotalloc analyzers share fixtures (both trigger on
+	// //adws:hotpath roots), so their cases run both analyzers and the
+	// want comments carry patterns for each.
 	cases := []struct {
-		analyzer string
-		dirs     []string
+		name      string
+		analyzers []string
+		dirs      []string
 	}{
-		{"hotpath", []string{"hotpath/bad", "hotpath/good"}},
-		{"atomicpad", []string{"atomicpad/bad", "atomicpad/good"}},
-		{"evexhaustive", []string{"evexhaustive/bad", "evexhaustive/good"}},
-		{"lockedby", []string{"lockedby/bad", "lockedby/good"}},
+		{"hotpath", []string{"hotpath", "hotalloc"}, []string{"hotpath/bad", "hotpath/good"}},
+		{"atomicpad", []string{"atomicpad"}, []string{"atomicpad/bad", "atomicpad/good"}},
+		{"evexhaustive", []string{"evexhaustive"}, []string{"evexhaustive/bad", "evexhaustive/good"}},
+		{"lockedby", []string{"lockedby"}, []string{"lockedby/bad", "lockedby/good"}},
+		{"atomiconly", []string{"atomiconly"}, []string{"atomiconly/bad", "atomiconly/good"}},
+		{"lockorder", []string{"lockorder"}, []string{"lockorder/bad", "lockorder/good"}},
+		{"hotalloc", []string{"hotalloc", "hotpath"}, []string{"hotalloc/bad", "hotalloc/good"}},
 	}
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -36,10 +43,14 @@ func TestAnalyzersGolden(t *testing.T) {
 		byName[a.Name] = a
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer, func(t *testing.T) {
-			a := byName[tc.analyzer]
-			if a == nil {
-				t.Fatalf("unknown analyzer %q", tc.analyzer)
+		t.Run(tc.name, func(t *testing.T) {
+			var as []*Analyzer
+			for _, name := range tc.analyzers {
+				a := byName[name]
+				if a == nil {
+					t.Fatalf("unknown analyzer %q", name)
+				}
+				as = append(as, a)
 			}
 			loader := NewTestLoader(root)
 			dirs := make([]string, len(tc.dirs))
@@ -50,7 +61,7 @@ func TestAnalyzersGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := u.Run([]*Analyzer{a})
+			diags := u.Run(as)
 			checkExpectations(t, dirs, diags)
 		})
 	}
@@ -139,6 +150,10 @@ func TestAllAnalyzersAcrossTestdata(t *testing.T) {
 		"atomicpad/bad", "atomicpad/good",
 		"evexhaustive/bad", "evexhaustive/good",
 		"lockedby/bad", "lockedby/good",
+		"atomiconly/bad", "atomiconly/good",
+		"lockorder/bad", "lockorder/good",
+		"hotalloc/bad", "hotalloc/good",
+		"generics",
 	} {
 		dirs = append(dirs, filepath.Join(root, filepath.FromSlash(d)))
 	}
@@ -148,6 +163,28 @@ func TestAllAnalyzersAcrossTestdata(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkExpectations(t, dirs, u.Run(nil))
+}
+
+// TestGenericsImporter pins the custom source importer against
+// type-parameterized code: instantiations must type-check, Instances info
+// must be populated, and the full suite must stay silent.
+func TestGenericsImporter(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "generics")
+	u, err := NewTestLoader(root).LoadDirs(dir)
+	if err != nil {
+		t.Fatalf("loading generics fixture: %v", err)
+	}
+	pkg := u.Targets[0]
+	if len(pkg.Info.Instances) == 0 {
+		t.Error("no generic instantiations recorded; importer lost Instances info")
+	}
+	if diags := u.Run(nil); len(diags) != 0 {
+		t.Errorf("suite not clean on generics fixture: %v", diags)
+	}
 }
 
 // TestDirectiveParsing pins the //adws: grammar corner cases.

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable reporters. JSON is the stable line-oriented contract
+// for scripts; SARIF 2.1.0 is what CI uploads so findings annotate pull
+// requests (github/codeql-action/upload-sarif). File paths are emitted
+// relative to the module root (slash-separated) so reports are
+// reproducible across checkouts; SARIF binds them to the SRCROOT
+// uriBaseId per §3.14.14 of the spec.
+
+// relPath renders filename relative to baseDir with forward slashes,
+// falling back to the absolute path for files outside the tree.
+func relPath(baseDir, filename string) string {
+	if baseDir != "" {
+		if r, err := filepath.Rel(baseDir, filename); err == nil &&
+			r != ".." && !strings.HasPrefix(r, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// jsonDiagnostic is one finding in -format json output.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits diags as a JSON array with module-relative paths.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(baseDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 object model — only the slice of the schema adwsvet emits.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                    `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifactBase `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult                `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifArtifactBase struct {
+	URI string `json:"uri"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits diags as a SARIF 2.1.0 log with one run, the full
+// analyzer catalogue as the rule table, and baseDir bound as SRCROOT.
+func WriteSARIF(w io.Writer, diags []Diagnostic, baseDir string) error {
+	driver := sarifDriver{
+		Name:           "adwsvet",
+		InformationURI: "https://github.com/parlab/adws/blob/main/docs/LINT.md",
+	}
+	ruleIndex := make(map[string]int)
+	for i, a := range Analyzers() {
+		ruleIndex[a.Name] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	run := sarifRun{
+		Tool:    sarifTool{Driver: driver},
+		Results: make([]sarifResult, 0, len(diags)),
+	}
+	uriBase := ""
+	if baseDir != "" {
+		uriBase = "SRCROOT"
+		run.OriginalURIBaseIDs = map[string]sarifArtifactBase{
+			"SRCROOT": {URI: "file://" + filepath.ToSlash(baseDir) + "/"},
+		}
+	}
+	for _, d := range diags {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relPath(baseDir, d.Pos.Filename),
+						URIBaseID: uriBase,
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

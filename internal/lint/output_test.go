@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "runtime", "park.go"), Line: 42, Column: 7},
+			Analyzer: "hotpath",
+			Message:  "hot path runtime.park: channel send",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "deque", "deque.go"), Line: 19, Column: 9},
+			Analyzer: "hotalloc",
+			Message:  "hot path deque.PushBottom: allocates with make",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join("/elsewhere", "x.go"), Line: 3, Column: 1},
+			Analyzer: "lockorder",
+			Message:  "unranked lock nesting: a acquired while holding b",
+		},
+	}
+}
+
+// TestWriteJSON pins the JSON contract: module-relative slash paths,
+// absolute fallback outside the tree, all fields populated.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got))
+	}
+	if got[0].File != "internal/runtime/park.go" || got[0].Line != 42 || got[0].Column != 7 {
+		t.Errorf("entry 0 = %+v, want relative path internal/runtime/park.go:42:7", got[0])
+	}
+	if got[2].File != "/elsewhere/x.go" {
+		t.Errorf("out-of-tree file = %q, want absolute /elsewhere/x.go", got[2].File)
+	}
+	if got[1].Analyzer != "hotalloc" || !strings.Contains(got[1].Message, "allocates with make") {
+		t.Errorf("entry 1 = %+v", got[1])
+	}
+}
+
+// TestWriteSARIF validates the emitted log against the SARIF 2.1.0 shape:
+// schema/version header, a rule table covering the full suite, results
+// referencing rules by id and index, and SRCROOT-anchored locations.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			OriginalURIBaseIDs map[string]struct {
+				URI string `json:"uri"`
+			} `json:"originalUriBaseIds"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("header = version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "adwsvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(Analyzers()); got != want {
+		t.Errorf("rule table has %d rules, want %d (full suite)", got, want)
+	}
+	ruleAt := make(map[int]string)
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %d incomplete: %+v", i, r)
+		}
+		ruleAt[i] = r.ID
+	}
+	if base, ok := run.OriginalURIBaseIDs["SRCROOT"]; !ok {
+		t.Error("missing SRCROOT in originalUriBaseIds")
+	} else if !strings.HasPrefix(base.URI, "file://") || !strings.HasSuffix(base.URI, "/") {
+		t.Errorf("SRCROOT uri = %q, want file:// URI with trailing slash", base.URI)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	for i, r := range run.Results {
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("result %d: level %q message %q", i, r.Level, r.Message.Text)
+		}
+		if ruleAt[r.RuleIndex] != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d resolves to %q, ruleId says %q",
+				i, r.RuleIndex, ruleAt[r.RuleIndex], r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d: %d locations", i, len(r.Locations))
+		}
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/runtime/park.go" || loc.ArtifactLocation.URIBaseID != "SRCROOT" {
+		t.Errorf("location = %+v, want SRCROOT-relative internal/runtime/park.go", loc.ArtifactLocation)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v, want 42:7", loc.Region)
+	}
+}
+
+// TestBaselineRoundTrip pins the baseline workflow: write findings, read
+// them back, filter — line numbers must not matter, new findings must
+// survive, and the serialized form must be deterministic.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	b := NewBaseline(diags, "/mod")
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := b.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("baseline serialization is not deterministic")
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same findings on different lines are still baselined.
+	moved := make([]Diagnostic, len(diags))
+	copy(moved, diags)
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	if left := rb.Filter(moved, "/mod"); len(left) != 0 {
+		t.Errorf("moved findings not filtered: %v", left)
+	}
+
+	// A genuinely new finding survives the filter.
+	novel := Diagnostic{
+		Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "server", "server.go"), Line: 8, Column: 2},
+		Analyzer: "atomiconly",
+		Message:  "n is accessed with sync/atomic elsewhere",
+	}
+	left := rb.Filter(append(moved, novel), "/mod")
+	if len(left) != 1 || left[0].Analyzer != "atomiconly" {
+		t.Errorf("filter kept %v, want only the novel atomiconly finding", left)
+	}
+}

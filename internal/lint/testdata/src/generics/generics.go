@@ -1,0 +1,34 @@
+// Package generics pins the loader's handling of type-parameterized
+// code: cross-function instantiation must type-check under the custom
+// source importer, the analyzers must resolve Origin() of instantiated
+// callees, and none of them may report anything here.
+package generics
+
+import "sync/atomic"
+
+type box[T any] struct {
+	v  T
+	ok atomic.Bool
+}
+
+func newBox[T any](v T) *box[T] {
+	b := &box[T]{v: v}
+	b.ok.Store(true)
+	return b
+}
+
+func (b *box[T]) get() T { return b.v }
+
+func mapSlice[S ~[]E, E, R any](s S, f func(E) R) []R {
+	out := make([]R, 0, len(s))
+	for _, e := range s {
+		out = append(out, f(e))
+	}
+	return out
+}
+
+// Use instantiates everything above so Instances info is populated.
+func Use() []int {
+	b := newBox(41)
+	return mapSlice([]int{b.get()}, func(v int) int { return v + 1 })
+}

@@ -1,0 +1,61 @@
+// Package bad exercises every allocation the hotalloc analyzer bans on
+// hot paths.
+package bad
+
+type item struct {
+	next *item
+	v    int
+}
+
+type q struct {
+	buf   []int
+	items []*item
+	sink  any
+}
+
+//adws:hotpath
+func (s *q) Grow(v int) {
+	s.buf = append(s.buf, v) // want `append grows a field/global slice`
+}
+
+//adws:hotpath
+func (s *q) Closer() func() {
+	return func() {} // want `allocates a closure \(function literal\)`
+}
+
+//adws:hotpath
+func (s *q) Insert(v int) {
+	s.items = append(s.items, &item{v: v}) // want `append grows a field/global slice` `address of composite literal`
+}
+
+//adws:hotpath
+func (s *q) Resize(n int) {
+	s.buf = make([]int, n) // want `allocates with make`
+}
+
+//adws:hotpath
+func (s *q) Seed() {
+	s.buf = []int{1, 2, 3} // want `allocates: \[\]int literal`
+}
+
+//adws:hotpath
+func (s *q) Box(v int) {
+	s.sink = any(v) // want `conversion to interface`
+}
+
+func logf(args ...any) int { return len(args) }
+
+//adws:hotpath
+func (s *q) Report(n int64) int {
+	return logf("worker", n) // want `argument n boxes a concrete value into any`
+}
+
+// helper is not annotated; its allocation is reached transitively.
+func (s *q) helper() {
+	s.buf = append(s.buf, 0) // want `append grows a field/global slice`
+}
+
+//adws:hotpath
+func (s *q) Transitive() {
+	s.helper()
+}

@@ -1,0 +1,55 @@
+// Package good holds allocation-free hot-path idioms the hotalloc
+// analyzer must accept.
+package good
+
+type ring struct {
+	buf  [8]int
+	head int
+}
+
+type w struct {
+	r     ring
+	spare []int
+	out   *int
+}
+
+//adws:hotpath
+func (s *w) Put(v int) {
+	s.r.buf[s.r.head&7] = v // indexed write into a fixed ring: no alloc
+	s.r.head++
+}
+
+//adws:hotpath
+func (s *w) Header() ring {
+	return ring{head: s.r.head} // value struct literal: stack-allocated
+}
+
+//adws:hotpath
+func (s *w) Gather(vs []int) int {
+	acc := vs
+	acc = append(acc, 0) // local append: backing array does not escape
+	return len(acc)
+}
+
+//adws:hotpath
+func (s *w) Reserve(v int) {
+	//adws:allow amortized growth: spare doubles rarely (docs/LINT.md)
+	s.spare = append(s.spare, v)
+}
+
+func sink(v any) bool { return v != nil }
+
+//adws:hotpath
+func (s *w) Probe() bool {
+	return sink(s.out) // *int is pointer-shaped: no boxing allocation
+}
+
+//adws:hotpath
+func (s *w) Flag() bool {
+	return sink("static") // constant: static interface data, no alloc
+}
+
+// Rebuild is cold-path setup; allocation here is fine.
+func (s *w) Rebuild(n int) {
+	s.spare = make([]int, n)
+}

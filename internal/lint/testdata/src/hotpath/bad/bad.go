@@ -22,7 +22,7 @@ func (s *q) Push(v int) {
 
 //adws:hotpath
 func (s *q) Pop() int {
-	defer func() {}() // want `defer is not allowed`
+	defer func() {}() // want `defer is not allowed` `allocates a closure`
 	return s.n
 }
 
@@ -38,7 +38,7 @@ func (s *q) Drain() {
 
 //adws:hotpath
 func (s *q) Log() {
-	fmt.Println(s.n) // want `calls fmt.Println`
+	fmt.Println(s.n) // want `calls fmt.Println` `boxes a concrete value`
 }
 
 //adws:hotpath

@@ -1,0 +1,114 @@
+// Package bad exercises the lockorder analyzer: rank inversions, unranked
+// nesting, graph cycles, same-identity double acquisition, edges seeded by
+// //adws:requires, promoted embedded-mutex locking, and malformed ranks.
+package bad
+
+import "sync"
+
+// ranked holds a correctly annotated pair acquired in the wrong order.
+type ranked struct {
+	outer sync.Mutex //adws:lockrank(10)
+	inner sync.Mutex //adws:lockrank(20)
+}
+
+func inverted(r *ranked) {
+	r.inner.Lock()
+	defer r.inner.Unlock()
+	r.outer.Lock() // want `lock order inversion: bad.ranked.outer \(rank 10\) acquired while holding bad.ranked.inner \(rank 20\)`
+	r.outer.Unlock()
+}
+
+// plain nests two mutexes nobody ranked.
+type plain struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func nested(p *plain) {
+	p.a.Lock()
+	p.b.Lock() // want `unranked lock nesting: bad.plain.b acquired while holding bad.plain.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// muA/muB are acquired in both orders: a cycle even though each edge is
+// witnessed in a different function.
+var (
+	muA sync.Mutex //adws:lockrank(30)
+	muB sync.Mutex //adws:lockrank(40)
+)
+
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock-order cycle among \{bad.muA, bad.muB\}`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock order inversion: bad.muA \(rank 30\) acquired while holding bad.muB \(rank 40\)`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// node.mu is one declared identity locked twice: a self-deadlock unless
+// the instances are ordered.
+type node struct {
+	mu sync.Mutex
+}
+
+func link(a, b *node) {
+	a.mu.Lock()
+	b.mu.Lock() // want `bad.node.mu acquired while already held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// reg demonstrates an inversion reached through a helper call while a
+// //adws:requires fact seeds the held-set.
+type reg struct {
+	low  sync.Mutex //adws:lockrank(50)
+	high sync.Mutex //adws:lockrank(60)
+}
+
+func (r *reg) lockLow() {
+	r.low.Lock()
+}
+
+// flushLocked runs with r.high already held by the caller.
+//
+//adws:requires(high)
+func (r *reg) flushLocked() {
+	r.lockLow() // want `lock order inversion: bad.reg.low \(rank 50\) acquired while holding bad.reg.high \(rank 60\)`
+	r.low.Unlock()
+}
+
+// inbox ranks its embedded mutex; router locks it through the promoted
+// method after taking its own higher-ranked lock.
+type inbox struct {
+	sync.Mutex //adws:lockrank(70)
+	items      []int
+}
+
+type router struct {
+	mu sync.Mutex //adws:lockrank(80)
+	in inbox
+}
+
+func (r *router) route() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.in.Lock() // want `lock order inversion: bad.router.in \(rank 70\) acquired while holding bad.router.mu \(rank 80\)`
+	r.in.Unlock()
+}
+
+// badrank carries a rank that does not parse.
+type badrank struct {
+	mu sync.Mutex //adws:lockrank(banana) // want `malformed //adws:lockrank\(banana\)`
+}
+
+func useBadrank(b *badrank) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}

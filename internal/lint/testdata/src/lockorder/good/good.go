@@ -1,0 +1,62 @@
+// Package good holds lockorder-clean locking: rank-increasing nesting,
+// read locks, sequential (non-nested) unranked acquisition, requires-
+// seeded nesting in the right order, and a waived instance-ordered
+// double acquire.
+package good
+
+import "sync"
+
+type state struct {
+	mu    sync.RWMutex //adws:lockrank(10)
+	regMu sync.Mutex   //adws:lockrank(20)
+}
+
+func (s *state) update() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regMu.Lock() // ranks increase 10 -> 20
+	s.regMu.Unlock()
+}
+
+func (s *state) read() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.regMu.Lock()
+	s.regMu.Unlock()
+}
+
+// flushLocked runs with s.mu held; taking regMu under it still follows
+// the rank order.
+//
+//adws:requires(mu)
+func (s *state) flushLocked() {
+	s.regMu.Lock()
+	s.regMu.Unlock()
+}
+
+// journal's mutexes are unranked but never nested: sequential acquisition
+// builds no edge.
+type journal struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (j *journal) sequential() {
+	j.a.Lock()
+	j.a.Unlock()
+	j.b.Lock()
+	j.b.Unlock()
+}
+
+// shard.mu is locked on two instances in a caller-enforced address order;
+// the self-edge is waived with a justification.
+type shard struct {
+	mu sync.Mutex
+}
+
+func drainPair(lo, hi *shard) {
+	lo.mu.Lock()
+	hi.mu.Lock() //adws:allow instances ordered by caller (lo before hi)
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+}

@@ -81,7 +81,7 @@ type Recorder struct {
 	last []paddedNS
 
 	// dumpMu serializes dumps (ring cuts are destructive).
-	dumpMu   sync.Mutex
+	dumpMu   sync.Mutex //adws:lockrank(85) Dump cuts the tracer ring under it (trace.mu rank 90)
 	seq      atomic.Int64
 	lastDump atomic.Pointer[Dump]
 }

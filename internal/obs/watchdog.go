@@ -144,7 +144,7 @@ type Watchdog struct {
 	// stallActive is the live stall verdict (the /healthz 503 signal).
 	stallActive atomic.Bool
 
-	mu sync.Mutex
+	mu sync.Mutex //adws:lockrank(15) sampling may dump under it (dumpMu rank 85)
 	// lastTasks/lastProgress track per-worker progress between samples;
 	// stalled marks workers with an active stall verdict.
 	lastTasks    []int64

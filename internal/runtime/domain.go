@@ -17,7 +17,7 @@ type entity struct {
 	dom *domain
 	idx int
 
-	mu sync.Mutex
+	mu sync.Mutex            //adws:lockrank(80) innermost runtime lock: queue ops nest under everything
 	qs sched.QueueSet[*task] //adws:locked(mu)
 	// ws is the lock-free fast path used instead of qs in conventional
 	// work-stealing domains (single owner, no depth separation, no

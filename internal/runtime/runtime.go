@@ -118,6 +118,7 @@ type Pool struct {
 	domSeq  atomic.Int64
 
 	// ml guards the multi-level leadership and domain structures.
+	//adws:lockrank(60)
 	ml struct {
 		sync.Mutex
 		caches [][]*mlCache //adws:locked(ml)
@@ -134,13 +135,13 @@ type Pool struct {
 
 	// runMu serializes Run calls: concurrent Runs are safe but execute one
 	// after another (use SubmitRoot for concurrent root computations).
-	runMu sync.Mutex
+	runMu sync.Mutex //adws:lockrank(40) Run injects roots under it (rootMu rank 50)
 	// rootMu guards rootQ, the FIFO of injected root tasks awaiting their
 	// owner entity's acting worker (pushing from a submitting goroutine
 	// would violate the lock-free deque's single-owner requirement).
 	// rootN mirrors len(rootQ) as the workers' lock-free fast path.
-	rootMu sync.Mutex
-	rootQ  []*task //adws:locked(rootMu)
+	rootMu sync.Mutex //adws:lockrank(50)
+	rootQ  []*task    //adws:locked(rootMu)
 	rootN  atomic.Int32
 	// jobSeq issues root-job ordinals (1-based; 0 means "no job").
 	jobSeq atomic.Int64
@@ -572,8 +573,8 @@ type worker struct {
 	// leads is the multi-level cache this worker currently leads.
 	leads *mlCache
 	// fdMu guards fdEnts (flattened-domain entities, newest last).
-	fdMu   sync.Mutex
-	fdEnts []*entity //adws:locked(fdMu)
+	fdMu   sync.Mutex //adws:lockrank(70) mlDecide flattens under Pool.ml (rank 60)
+	fdEnts []*entity  //adws:locked(fdMu)
 
 	// parkCh is the worker's one-slot wake semaphore (see park.go).
 	parkCh chan struct{}

@@ -179,7 +179,7 @@ type Server struct {
 	// metrics is nil unless latency recording was requested.
 	metrics *Metrics
 
-	mu       sync.Mutex
+	mu       sync.Mutex //adws:lockrank(30) under cluster.mu, over the runtime's pool locks
 	queue    []*Job
 	running  int
 	workSum  float64 // Σ work hints of running jobs

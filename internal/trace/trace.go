@@ -275,7 +275,7 @@ type Tracer struct {
 	rings []ring
 	// mu serializes cuts and the reader-side frame bookkeeping (base,
 	// lost). Recording never takes it.
-	mu sync.Mutex
+	mu sync.Mutex //adws:lockrank(90) leaf: Cut is called with obs.dumpMu (rank 85) held
 }
 
 // New creates a tracer for `workers` workers with `capacity` events per
